@@ -1,0 +1,1 @@
+bench/util.ml: Analyze Bechamel Benchmark Hashtbl Instance List Printf String Test Time Toolkit

@@ -1,0 +1,24 @@
+(* Benchmark/experiment driver.
+
+     dune exec bench/main.exe            # every experiment E1-E10 + micro
+     dune exec bench/main.exe -- e5      # one experiment
+     dune exec bench/main.exe -- micro   # Bechamel micro-benchmarks only
+
+   Each experiment regenerates one figure/claim of the paper; the mapping is
+   documented in DESIGN.md section 3 and the measured results in
+   EXPERIMENTS.md. *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] -> Experiments.all ()
+  | names ->
+      List.iter
+        (fun n ->
+          match Experiments.by_name (String.lowercase_ascii n) with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf
+                "unknown experiment %S (expected e1..e10, micro, all)\n" n;
+              exit 1)
+        names

@@ -1,0 +1,149 @@
+(* The EVEREST command-line tool.
+
+     everest_cli compile [--size N] [--emit ir|sycl|rtl|variants]
+         compile the demo tensor pipeline and print the requested artifact
+     everest_cli run [--policy P] [--fpgas K]
+         compile and execute the demo workflow on the simulated demonstrator
+     everest_cli serve [--requests N] [--goal time|energy]
+         adaptively serve the hot kernel through the virtualized runtime
+     everest_cli hls [--unroll U] [--dift]
+         synthesize the demo kernel and print the HLS report + RTL sketch  *)
+
+open Cmdliner
+module Sdk = Everest.Sdk
+module Dsl = Everest_dsl
+module TE = Everest_dsl.Tensor_expr
+
+let demo_graph n =
+  let g = Sdk.workflow "demo" in
+  let src = Dsl.Dataflow.source g "input" ~bytes:(8 * n * n) in
+  let x = TE.input "x" [ n; n ] in
+  let mm =
+    Dsl.Dataflow.task g "mm" (Dsl.Dataflow.Tensor_kernel (TE.matmul x x))
+      ~deps:[ src ]
+  in
+  let act =
+    Dsl.Dataflow.task g "act"
+      (Dsl.Dataflow.Tensor_kernel (TE.relu (TE.input "y" [ n; n ])))
+      ~deps:[ mm ]
+  in
+  Dsl.Dataflow.sink g "out" act;
+  g
+
+(* ---- compile --------------------------------------------------------------- *)
+
+let compile_cmd =
+  let size =
+    Arg.(value & opt int 64 & info [ "size" ] ~docv:"N" ~doc:"Tensor size N×N.")
+  in
+  let emit =
+    Arg.(
+      value
+      & opt (enum [ ("ir", `Ir); ("sycl", `Sycl); ("variants", `Variants);
+                    ("report", `Report) ])
+          `Report
+      & info [ "emit" ] ~doc:"Artifact to print: ir, sycl, variants, report.")
+  in
+  let run size emit =
+    let app = Sdk.compile (demo_graph size) in
+    match emit with
+    | `Ir ->
+        print_string
+          (Everest_ir.Printer.module_to_string app.Everest_compiler.Pipeline.ir)
+    | `Sycl ->
+        List.iter
+          (fun k -> print_string k.Everest_compiler.Pipeline.sycl)
+          app.Everest_compiler.Pipeline.kernels
+    | `Variants ->
+        List.iter
+          (fun k ->
+            Format.printf "kernel %s:@." k.Everest_compiler.Pipeline.ck_name;
+            List.iter
+              (fun v -> Format.printf "  %a@." Everest_compiler.Variants.pp v)
+              k.Everest_compiler.Pipeline.dse.Everest_compiler.Dse.variants)
+          app.Everest_compiler.Pipeline.kernels
+    | `Report -> Format.printf "%a" Everest_compiler.Pipeline.report app
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile the demo pipeline.")
+    Term.(const run $ size $ emit)
+
+(* ---- run ------------------------------------------------------------------- *)
+
+let run_cmd =
+  let policy =
+    Arg.(
+      value & opt string "heft-locality"
+      & info [ "policy" ] ~doc:"Scheduling policy.")
+  in
+  let fpgas =
+    Arg.(value & opt int 4 & info [ "fpgas" ] ~doc:"Number of cloudFPGA nodes.")
+  in
+  let size =
+    Arg.(value & opt int 128 & info [ "size" ] ~docv:"N" ~doc:"Tensor size.")
+  in
+  let run policy fpgas size =
+    let app = Sdk.compile (demo_graph size) in
+    let stats = Sdk.run ~policy ~cloud_fpgas:fpgas app in
+    Format.printf "%a@." Sdk.pp_run stats
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run the demo workflow on the demonstrator.")
+    Term.(const run $ policy $ fpgas $ size)
+
+(* ---- serve ----------------------------------------------------------------- *)
+
+let serve_cmd =
+  let requests =
+    Arg.(value & opt int 100 & info [ "requests" ] ~doc:"Request count.")
+  in
+  let goal =
+    Arg.(
+      value
+      & opt (enum [ ("time", `Time); ("energy", `Energy) ]) `Time
+      & info [ "goal" ] ~doc:"Optimization goal.")
+  in
+  let size =
+    Arg.(value & opt int 128 & info [ "size" ] ~docv:"N" ~doc:"Tensor size.")
+  in
+  let run requests goal size =
+    let app = Sdk.compile (demo_graph size) in
+    let goal =
+      match goal with
+      | `Time ->
+          Everest_autotune.Goal.make (Everest_autotune.Goal.Minimize "time_s")
+      | `Energy ->
+          Everest_autotune.Goal.make (Everest_autotune.Goal.Minimize "energy_j")
+    in
+    let served = Sdk.serve ~n:requests ~goal app ~kernel:"mm" in
+    Format.printf "%a@." Sdk.pp_served served
+  in
+  Cmd.v (Cmd.info "serve" ~doc:"Serve the hot kernel adaptively.")
+    Term.(const run $ requests $ goal $ size)
+
+(* ---- hls ------------------------------------------------------------------- *)
+
+let hls_cmd =
+  let unroll = Arg.(value & opt int 4 & info [ "unroll" ] ~doc:"Unroll factor.") in
+  let dift = Arg.(value & flag & info [ "dift" ] ~doc:"Instrument with DIFT.") in
+  let rtl = Arg.(value & flag & info [ "rtl" ] ~doc:"Print the RTL sketch.") in
+  let run unroll dift rtl =
+    let e = TE.matmul (TE.input "a" [ 64; 64 ]) (TE.input "b" [ 64; 64 ]) in
+    let dfg = Everest_compiler.Hw_lower.dfg_of_expr ~unroll e in
+    let c =
+      { Everest_hls.Hls.default_constraints with
+        Everest_hls.Hls.unroll; dift;
+        trips = Everest_compiler.Hw_lower.trips e ~unroll;
+        max_banks = max 16 unroll }
+    in
+    let d = Everest_hls.Hls.synthesize ~c ~name:"matmul64" dfg in
+    Format.printf "%a" Everest_hls.Hls.report d;
+    if rtl then print_string (Everest_hls.Rtl.to_string d.Everest_hls.Hls.rtl)
+  in
+  Cmd.v (Cmd.info "hls" ~doc:"Synthesize the demo kernel with the HLS flow.")
+    Term.(const run $ unroll $ dift $ rtl)
+
+let () =
+  let doc = "EVEREST SDK: compile, run and adapt HPDA applications." in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "everest_cli" ~doc)
+          [ compile_cmd; run_cmd; serve_cmd; hls_cmd ]))

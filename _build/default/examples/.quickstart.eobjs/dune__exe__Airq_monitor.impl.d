@@ -1,0 +1,1 @@
+examples/airq_monitor.ml: Array Everest_airq Everest_runtime Format List

@@ -1,0 +1,1 @@
+examples/airq_monitor.mli:

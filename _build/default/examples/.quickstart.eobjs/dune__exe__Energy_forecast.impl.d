@@ -1,0 +1,1 @@
+examples/energy_forecast.ml: Everest Everest_dsl Everest_energy Format List

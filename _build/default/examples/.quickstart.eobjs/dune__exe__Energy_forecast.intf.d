@@ -1,0 +1,1 @@
+examples/energy_forecast.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Everest Everest_compiler Everest_dsl Everest_ir Format List

@@ -1,0 +1,1 @@
+examples/secure_pipeline.ml: Bytes Char Everest_compiler Everest_dsl Everest_ir Everest_runtime Everest_security Format List Option

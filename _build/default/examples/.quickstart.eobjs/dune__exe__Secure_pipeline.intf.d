@@ -1,0 +1,1 @@
+examples/secure_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/traffic_routing.ml: Everest_traffic Format List

@@ -1,0 +1,1 @@
+examples/traffic_routing.mli:

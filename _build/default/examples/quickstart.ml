@@ -1,0 +1,47 @@
+(* Quickstart: describe -> compile -> run -> adapt, on a small tensor
+   pipeline.  Run with:  dune exec examples/quickstart.exe *)
+
+module Sdk = Everest.Sdk
+module Dsl = Everest_dsl
+module TE = Everest_dsl.Tensor_expr
+
+let () =
+  (* 1. Describe the application: an annotated workflow whose kernels are
+     tensor expressions (the EVEREST DSL layer). *)
+  let g = Sdk.workflow "quickstart" in
+  let src =
+    Dsl.Dataflow.source g "sensor" ~bytes:(1 lsl 16)
+      ~annots:[ Dsl.Annot.Access Dsl.Annot.Streaming ]
+  in
+  let x = TE.input "x" [ 64; 64 ] in
+  let smooth =
+    Dsl.Dataflow.task g "smooth"
+      (Dsl.Dataflow.Tensor_kernel (TE.scale 0.25 (TE.add x x)))
+      ~deps:[ src ]
+  in
+  let w = TE.input "w" [ 64; 64 ] in
+  let project =
+    Dsl.Dataflow.task g "project"
+      (Dsl.Dataflow.Tensor_kernel (TE.relu (TE.matmul w w)))
+      ~deps:[ smooth ]
+      ~annots:[ Dsl.Annot.Security Everest_ir.Dialect_sec.Confidential ]
+  in
+  Dsl.Dataflow.sink g "result" project;
+
+  (* 2. Compile: unified IR, canonicalization, per-kernel design-space
+     exploration producing hardware and software variants. *)
+  let app = Sdk.compile g in
+  Format.printf "%a" Everest_compiler.Pipeline.report app;
+  Format.printf "IR module:@.%s@."
+    (Everest_ir.Printer.module_to_string app.Everest_compiler.Pipeline.ir);
+
+  (* 3. Run the compiled workflow on the simulated EVEREST demonstrator
+     under several scheduling policies. *)
+  List.iter
+    (fun (p, stats) -> Format.printf "  %-14s %a@." p Sdk.pp_run stats)
+    (Sdk.compare_policies app);
+
+  (* 4. Serve the hot kernel adaptively: the mARGOt loop picks variants and
+     reacts to measurements. *)
+  let served = Sdk.serve app ~kernel:"project" ~n:50 in
+  Format.printf "adaptive serving: %a@." Sdk.pp_served served

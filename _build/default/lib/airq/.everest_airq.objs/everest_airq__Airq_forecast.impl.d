@@ -1,0 +1,1 @@
+lib/airq/airq_forecast.ml: Array Everest_ml Float List Metrics Plume Rng

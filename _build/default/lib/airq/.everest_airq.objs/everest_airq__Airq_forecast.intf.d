@@ -1,0 +1,1 @@
+lib/airq/airq_forecast.mli: Plume

@@ -1,0 +1,1 @@
+lib/airq/plume.mli:

@@ -1,0 +1,1 @@
+lib/airq/sensors.ml: Array Everest_ml Float List Plume Rng

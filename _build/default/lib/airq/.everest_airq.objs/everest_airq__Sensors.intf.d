@@ -1,0 +1,1 @@
+lib/airq/sensors.mli: Everest_ml Plume

@@ -1,0 +1,1 @@
+lib/autotune/goal.ml: Float Fmt Knowledge List Printf String

@@ -1,0 +1,1 @@
+lib/autotune/goal.mli: Format Knowledge

@@ -1,0 +1,1 @@
+lib/autotune/knowledge.ml: Float Fmt Hashtbl List Option Printf String

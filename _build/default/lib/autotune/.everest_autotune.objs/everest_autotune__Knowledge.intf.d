@@ -1,0 +1,1 @@
+lib/autotune/knowledge.mli: Format

@@ -1,0 +1,1 @@
+lib/autotune/selector.ml: Goal Knowledge List Option

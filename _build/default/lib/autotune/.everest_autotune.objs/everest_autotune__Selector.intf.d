@@ -1,0 +1,1 @@
+lib/autotune/selector.mli: Goal Knowledge

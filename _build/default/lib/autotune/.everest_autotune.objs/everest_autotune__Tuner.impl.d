@@ -1,0 +1,1 @@
+lib/autotune/tuner.ml: Float Goal Knowledge List Queue Selector String

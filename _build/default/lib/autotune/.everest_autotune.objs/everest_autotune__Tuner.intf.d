@@ -1,0 +1,1 @@
+lib/autotune/tuner.mli: Goal Knowledge Queue Selector

@@ -1,0 +1,57 @@
+(* Optimization goals: prioritized constraints plus a rank objective, the
+   mARGOt goal structure ("the optimization goal set for execution, e.g.
+   performance or energy consumption", paper §IV). *)
+
+type cmp = Le | Ge
+
+type constr = {
+  metric : string;
+  cmp : cmp;
+  bound : float;
+  priority : int;  (* lower number = more important; relaxed last *)
+}
+
+type objective =
+  | Minimize of string
+  | Maximize of string
+  (* geometric combination: minimize product of metric^weight *)
+  | Combo of (string * float) list
+
+type t = { constraints : constr list; objective : objective }
+
+let constraint_ ?(priority = 1) metric cmp bound = { metric; cmp; bound; priority }
+
+let make ?(constraints = []) objective = { constraints; objective }
+
+let satisfies (p : Knowledge.point) (c : constr) =
+  match Knowledge.metric p c.metric with
+  | None -> false
+  | Some v -> ( match c.cmp with Le -> v <= c.bound | Ge -> v >= c.bound)
+
+(* Rank score: lower is better. *)
+let score (g : t) (p : Knowledge.point) =
+  match g.objective with
+  | Minimize m -> Knowledge.metric_exn p m
+  | Maximize m -> -.Knowledge.metric_exn p m
+  | Combo ws ->
+      List.fold_left
+        (fun acc (m, w) ->
+          let v = Float.max 1e-30 (Knowledge.metric_exn p m) in
+          acc *. Float.pow v w)
+        1.0 ws
+
+let pp_constr ppf c =
+  Fmt.pf ppf "%s %s %g (p%d)" c.metric
+    (match c.cmp with Le -> "<=" | Ge -> ">=")
+    c.bound c.priority
+
+let pp ppf g =
+  Fmt.pf ppf "constraints=[%a] objective=%s"
+    Fmt.(list ~sep:(any "; ") pp_constr)
+    g.constraints
+    (match g.objective with
+    | Minimize m -> "min " ^ m
+    | Maximize m -> "max " ^ m
+    | Combo ws ->
+        String.concat "*"
+          (List.map (fun (m, w) -> Printf.sprintf "%s^%g" m w) ws))

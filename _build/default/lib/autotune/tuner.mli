@@ -1,0 +1,50 @@
+(** The runtime autotuner: selection plus online adaptation.
+
+    Wraps the selector with an observation loop: after every execution the
+    measured metrics update the knowledge (EMA), so sustained drifts in the
+    system state move future selections — the "dynamic hardware-software
+    adaptation strategy" of Fig. 2.  Hysteresis keeps the current variant
+    unless a challenger is decisively better, preventing thrashing between
+    statistically indistinguishable variants. *)
+
+type t = {
+  knowledge : Knowledge.t;
+  goal : Goal.t;
+  alpha : float;  (** EMA factor for observations. *)
+  hysteresis : float;  (** Relative margin a challenger must beat. *)
+  mutable last : Selector.decision option;
+  mutable selections : int;
+  mutable switches : int;
+  history : (string * Knowledge.metrics) Queue.t;
+}
+
+val create : ?alpha:float -> ?hysteresis:float -> Knowledge.t -> Goal.t -> t
+
+(** Select the variant for the current [features], applying hysteresis
+    against the previous choice. *)
+val select : t -> features:(string * float) list -> Selector.decision option
+
+(** Feed a measurement back into the knowledge. *)
+val observe :
+  t ->
+  variant:string ->
+  features:(string * float) list ->
+  measured:Knowledge.metrics ->
+  unit
+
+(** One closed-loop step: select, execute via [run] (returning measured
+    metrics), observe. *)
+val step :
+  t ->
+  features:(string * float) list ->
+  run:(string -> Knowledge.metrics) ->
+  (string * Knowledge.metrics) option
+
+(** Cumulative regret of [chosen] versus the per-step best variant under
+    ground-truth costs. *)
+val regret :
+  steps:int ->
+  variants:string list ->
+  true_costs:(int -> string -> float) ->
+  chosen:(int -> string) ->
+  float

@@ -1,0 +1,1 @@
+lib/compiler/backend.ml: Buffer Cost_model Everest_dsl Everest_hls Everest_ir List Printf String Tensor_expr Variants

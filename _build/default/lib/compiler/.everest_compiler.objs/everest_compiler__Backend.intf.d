@@ -1,0 +1,1 @@
+lib/compiler/backend.mli: Cost_model Everest_dsl Everest_ir Variants

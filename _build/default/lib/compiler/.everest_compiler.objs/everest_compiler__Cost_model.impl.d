@@ -1,0 +1,1 @@
+lib/compiler/cost_model.ml: Everest_dsl Everest_platform Float Printf Tensor_expr

@@ -1,0 +1,1 @@
+lib/compiler/cost_model.mli: Everest_dsl Everest_platform

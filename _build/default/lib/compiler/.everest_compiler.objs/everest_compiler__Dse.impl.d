@@ -1,0 +1,1 @@
+lib/compiler/dse.ml: Array Cost_model Everest_dsl List Tensor_expr Variants

@@ -1,0 +1,1 @@
+lib/compiler/dse.mli: Everest_dsl Variants

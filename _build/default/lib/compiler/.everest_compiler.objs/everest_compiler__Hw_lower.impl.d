@@ -1,0 +1,1 @@
+lib/compiler/hw_lower.ml: Cdfg Everest_dsl Everest_hls List Tensor_expr

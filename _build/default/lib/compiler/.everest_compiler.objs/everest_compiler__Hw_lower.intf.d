@@ -1,0 +1,1 @@
+lib/compiler/hw_lower.mli: Everest_dsl Everest_hls

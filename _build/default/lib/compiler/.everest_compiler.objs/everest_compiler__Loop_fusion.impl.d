@@ -1,0 +1,1 @@
+lib/compiler/loop_fusion.ml: Attr Dialect_arith Dialect_scf Everest_ir Fun Hashtbl Ir List Option Pass String

@@ -1,0 +1,1 @@
+lib/compiler/loop_fusion.mli: Everest_ir

@@ -1,0 +1,1 @@
+lib/compiler/loops.ml: Dialect_arith Dialect_memref Dialect_scf Everest_ir Hashtbl Ir List Option String Types

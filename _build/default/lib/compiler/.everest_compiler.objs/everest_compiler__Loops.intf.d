@@ -1,0 +1,1 @@
+lib/compiler/loops.mli: Everest_ir

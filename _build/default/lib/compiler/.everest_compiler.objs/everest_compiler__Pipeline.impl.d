@@ -1,0 +1,1 @@
+lib/compiler/pipeline.ml: Annot Backend Dataflow Dse Everest_autotune Everest_dsl Everest_ir Everest_security Everest_workflow Fmt List Lower String Tensor_expr Variants

@@ -1,0 +1,1 @@
+lib/compiler/pipeline.mli: Dse Everest_autotune Everest_dsl Everest_ir Everest_security Everest_workflow Format Variants

@@ -1,0 +1,1 @@
+lib/compiler/variants.ml: Annot Cost_model Everest_autotune Everest_dsl Everest_hls Everest_ir Everest_platform Everest_workflow Fmt Hw_lower List Printf Spec Tensor_expr

@@ -1,0 +1,1 @@
+lib/compiler/variants.mli: Cost_model Everest_autotune Everest_dsl Everest_hls Everest_platform Everest_workflow Format Spec

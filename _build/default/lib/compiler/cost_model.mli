@@ -1,0 +1,30 @@
+(** Analytical cost models for software variants (the "high-level
+    architecture models" of the middle-end, Fig. 1).
+
+    First-order effects the variant space is built on: tiling improves
+    reuse for contraction kernels, SoA layout improves streaming bandwidth,
+    threading scales compute but shares memory bandwidth. *)
+
+type layout = Aos | Soa
+
+val layout_name : layout -> string
+
+type sw_params = { tile : int option; layout : layout; threads : int }
+
+(** Canonical variant name, e.g. ["sw-soa-tile32-t16"]. *)
+val variant_name : sw_params -> string
+
+(** Does the expression contain a contraction that benefits from tiling? *)
+val has_contraction : Everest_dsl.Tensor_expr.expr -> bool
+
+(** Memory traffic in bytes for one evaluation under the parameters. *)
+val traffic_bytes : Everest_dsl.Tensor_expr.expr -> sw_params -> float
+
+val layout_efficiency : Everest_dsl.Tensor_expr.expr -> layout -> float
+
+(** Roofline execution time on the CPU. *)
+val sw_time :
+  Everest_platform.Spec.cpu -> Everest_dsl.Tensor_expr.expr -> sw_params -> float
+
+val sw_energy :
+  Everest_platform.Spec.cpu -> Everest_dsl.Tensor_expr.expr -> sw_params -> float

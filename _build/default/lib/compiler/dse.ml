@@ -1,0 +1,120 @@
+(* Design-space exploration over the variant space.
+
+   Strategies: exhaustive enumeration (ground truth), random sampling and a
+   greedy hill-climb — the trade-off between exploration cost (how many HLS
+   estimations run) and result quality that the middle-end manages. *)
+
+open Everest_dsl
+
+type result = {
+  explored : int;  (* candidate evaluations performed *)
+  variants : Variants.variant list;  (* Pareto survivors *)
+  best_time : Variants.variant option;
+  best_energy : Variants.variant option;
+}
+
+let summarize explored vs =
+  let best f =
+    List.fold_left
+      (fun acc v ->
+        match acc with Some b when f b <= f v -> acc | _ -> Some v)
+      None vs
+  in
+  {
+    explored;
+    variants = Variants.pareto vs;
+    best_time = best (fun v -> v.Variants.time_s);
+    best_energy = best (fun v -> v.Variants.energy_j);
+  }
+
+let exhaustive ?(target = Variants.default_target) ?(annots = [])
+    (e : Tensor_expr.expr) : result =
+  let vs = Variants.generate ~target ~annots e in
+  summarize (List.length vs) vs
+
+(* Random subset of the full space: [budget] samples, deterministic seed. *)
+let sampled ?(target = Variants.default_target) ?(annots = []) ?(seed = 17)
+    ~budget (e : Tensor_expr.expr) : result =
+  let all = Variants.generate ~target ~annots e in
+  let n = List.length all in
+  if budget >= n then summarize n all
+  else begin
+    let st = ref seed in
+    let rand m = st := ((!st * 48271) mod 0x7FFFFFFF); !st mod m in
+    let arr = Array.of_list all in
+    (* partial Fisher-Yates *)
+    for i = 0 to budget - 1 do
+      let j = i + rand (n - i) in
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp
+    done;
+    summarize budget (Array.to_list (Array.sub arr 0 budget))
+  end
+
+(* Greedy coordinate descent: start from the naive software point and sweep
+   one knob at a time — threads, then tile, then layout — keeping the best
+   along each axis.  Only the final software point is compared against the
+   (few) hardware candidates, so far fewer cost evaluations run than in the
+   exhaustive search. *)
+let greedy ?(target = Variants.default_target) ?(annots = [])
+    (e : Tensor_expr.expr) : result =
+  let explored = ref 0 in
+  let eval (p : Cost_model.sw_params) =
+    incr explored;
+    {
+      Variants.vname = Cost_model.variant_name p;
+      impl = Variants.Sw p;
+      time_s = Cost_model.sw_time target.Variants.cpu e p;
+      energy_j = Cost_model.sw_energy target.Variants.cpu e p;
+      area_luts = 0;
+    }
+  in
+  let better a b = if a.Variants.time_s <= b.Variants.time_s then a else b in
+  let sweep current candidates =
+    List.fold_left (fun best p -> better best (eval p)) current candidates
+  in
+  let p0 = { Cost_model.tile = None; layout = Cost_model.Aos; threads = 1 } in
+  let current = eval p0 in
+  let params v =
+    match v.Variants.impl with Variants.Sw p -> p | _ -> assert false
+  in
+  (* threads axis *)
+  let current =
+    sweep current
+      (List.map (fun t -> { (params current) with Cost_model.threads = t })
+         target.Variants.sw_threads)
+  in
+  (* tile axis (only meaningful for contractions) *)
+  let current =
+    if Cost_model.has_contraction e then
+      sweep current
+        (List.map
+           (fun t -> { (params current) with Cost_model.tile = Some t })
+           target.Variants.sw_tiles)
+    else current
+  in
+  (* second threads pass: tiling changes the compute/memory balance *)
+  let current =
+    sweep current
+      (List.map (fun t -> { (params current) with Cost_model.threads = t })
+         target.Variants.sw_threads)
+  in
+  (* layout axis *)
+  let current =
+    sweep current [ { (params current) with Cost_model.layout = Cost_model.Soa } ]
+  in
+  (* hardware candidates *)
+  let hw = Variants.hw_variants target ~dift:false e in
+  explored := !explored + List.length hw;
+  ignore annots;
+  let final = List.fold_left better current hw in
+  summarize !explored [ final ]
+
+(* Quality of a strategy versus the exhaustive oracle: ratio of achieved
+   best time to true best time (1.0 = optimal). *)
+let quality (r : result) (oracle : result) =
+  match (r.best_time, oracle.best_time) with
+  | Some a, Some b when b.Variants.time_s > 0.0 ->
+      a.Variants.time_s /. b.Variants.time_s
+  | _ -> infinity

@@ -1,0 +1,41 @@
+(** Design-space exploration over the variant space.
+
+    Strategies trade exploration cost (how many cost-model/HLS evaluations
+    run) against result quality. *)
+
+type result = {
+  explored : int;  (** Candidate evaluations performed. *)
+  variants : Variants.variant list;  (** Pareto survivors. *)
+  best_time : Variants.variant option;
+  best_energy : Variants.variant option;
+}
+
+val summarize : int -> Variants.variant list -> result
+
+(** Evaluate the whole space (the oracle). *)
+val exhaustive :
+  ?target:Variants.target ->
+  ?annots:Everest_dsl.Annot.t list ->
+  Everest_dsl.Tensor_expr.expr ->
+  result
+
+(** Deterministic random subset of [budget] candidates. *)
+val sampled :
+  ?target:Variants.target ->
+  ?annots:Everest_dsl.Annot.t list ->
+  ?seed:int ->
+  budget:int ->
+  Everest_dsl.Tensor_expr.expr ->
+  result
+
+(** Coordinate descent over threads, tile, threads again, layout, then the
+    hardware candidates — far fewer evaluations than exhaustive. *)
+val greedy :
+  ?target:Variants.target ->
+  ?annots:Everest_dsl.Annot.t list ->
+  Everest_dsl.Tensor_expr.expr ->
+  result
+
+(** Achieved-to-optimal best-time ratio versus an oracle result (1.0 =
+    optimal). *)
+val quality : result -> result -> float

@@ -1,0 +1,191 @@
+(* Producer-consumer loop fusion.
+
+   The tensor-to-loops lowering emits one loop nest per tensor op; chains of
+   elementwise ops become chains of identical-range loops communicating
+   through intermediate buffers.  Fusion merges a producer loop into its
+   consumer when
+
+     - both are constant-bound [scf.for] with the same lo/hi/step and no
+       iteration arguments,
+     - the producer stores exactly once, to [A] at the induction variable,
+     - the consumer's accesses to [A] are loads at its induction variable,
+
+   replacing the consumer's loads by the produced value.  The producer's
+   store stays (the buffer may have other readers); DCE cleans it up when
+   dead.  Fusing shrinks memory traffic and gives the HLS flow one larger
+   body — a classic EVEREST "co-optimize computation and storage" step. *)
+
+open Everest_ir
+
+let const_of defs (v : Ir.value) =
+  match Hashtbl.find_opt defs v.Ir.vid with
+  | Some o -> (
+      match Dialect_arith.const_value o with
+      | Some (Attr.Int i) -> Some i
+      | _ -> None)
+  | None -> None
+
+(* A fusible loop: constant bounds, no iter args, single block. *)
+type loop_info = {
+  lo : int;
+  hi : int;
+  step : int;
+  iv : Ir.value;
+  body : Ir.op list;  (* without the trailing yield *)
+}
+
+let loop_info defs (o : Ir.op) : loop_info option =
+  if not (String.equal o.Ir.name "scf.for") then None
+  else
+    match (o.Ir.operands, o.Ir.results, o.Ir.regions) with
+    | [ lo_v; hi_v; step_v ], [], [ [ b ] ] -> (
+        match (const_of defs lo_v, const_of defs hi_v, const_of defs step_v) with
+        | Some lo, Some hi, Some step ->
+            let body =
+              match List.rev b.Ir.body with
+              | last :: rest when String.equal last.Ir.name "scf.yield" ->
+                  List.rev rest
+              | _ -> b.Ir.body
+            in
+            Some { lo; hi; step; iv = List.hd b.Ir.bargs; body }
+        | _ -> None)
+    | _ -> None
+
+(* All producer stores, each required to be [A[iv] <- v] at top level of a
+   straight-line body; [None] when the body nests regions or stores
+   elsewhere. *)
+let iv_stores (info : loop_info) =
+  if List.exists (fun (o : Ir.op) -> o.Ir.regions <> []) info.body then None
+  else
+    List.fold_left
+      (fun acc (o : Ir.op) ->
+        match acc with
+        | None -> None
+        | Some stores ->
+            if String.equal o.Ir.name "memref.store" then
+              match o.Ir.operands with
+              | [ v; arr; idx ] when Ir.value_equal idx info.iv ->
+                  Some ((arr, v) :: stores)
+              | _ -> None
+            else Some stores)
+      (Some []) info.body
+
+(* Do all accesses of [arr] in [body] load at [iv]?  Returns those loads. *)
+let iv_loads_of arr iv body =
+  let ok = ref true in
+  let loads = ref [] in
+  Ir.iter_ops
+    (fun (o : Ir.op) ->
+      match o.Ir.name with
+      | "memref.load" -> (
+          match o.Ir.operands with
+          | [ a; idx ] when Ir.value_equal a arr ->
+              if Ir.value_equal idx iv then loads := o :: !loads else ok := false
+          | _ -> ())
+      | "memref.store" -> (
+          match o.Ir.operands with
+          | [ _; a; _ ] when Ir.value_equal a arr -> ok := false
+          | _ -> ())
+      | "memref.copy" ->
+          if List.exists (Ir.value_equal arr) o.Ir.operands then ok := false
+      | _ -> ())
+    body;
+  if !ok then Some !loads else None
+
+(* Try to fuse [prod] into [cons]; returns the fused op. *)
+let try_fuse ctx defs (prod : Ir.op) (cons : Ir.op) : Ir.op option =
+  match (loop_info defs prod, loop_info defs cons) with
+  | Some pi, Some ci
+    when pi.lo = ci.lo && pi.hi = ci.hi && pi.step = ci.step -> (
+      match iv_stores pi with
+      | None | Some [] -> None
+      | Some stores -> (
+          (* per produced array: every consumer access must be a load at the
+             consumer's induction variable *)
+          let per_array =
+            List.map
+              (fun (arr, stored) ->
+                match iv_loads_of arr ci.iv ci.body with
+                | Some loads -> Some (stored, loads)
+                | None -> None)
+              stores
+          in
+          if List.exists Option.is_none per_array then None
+          else
+            let pairs = List.filter_map Fun.id per_array in
+            let all_loads = List.concat_map snd pairs in
+            if all_loads = [] then None  (* nothing flows: no point fusing *)
+            else begin
+              let subst =
+                (ci.iv.Ir.vid, pi.iv)
+                :: List.concat_map
+                     (fun (stored, loads) ->
+                       List.map
+                         (fun (l : Ir.op) -> ((Ir.result l).Ir.vid, stored))
+                         loads)
+                     pairs
+              in
+              let cons_body =
+                List.filter
+                  (fun (o : Ir.op) ->
+                    not (List.exists (fun (l : Ir.op) -> l == o) all_loads))
+                  ci.body
+              in
+              let clones, _ = Ir.clone_ops ctx subst cons_body in
+              let yield = Dialect_scf.yield ctx [] in
+              let body = pi.body @ clones @ [ yield ] in
+              Some
+                { prod with Ir.regions = [ [ Ir.block ~args:[ pi.iv ] body ] ] }
+            end))
+  | _ -> None
+
+(* One fusion sweep over an op list (non-nested). *)
+let fuse_once ctx (ops : Ir.op list) : Ir.op list * bool =
+  let defs : (int, Ir.op) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (o : Ir.op) ->
+      List.iter (fun (r : Ir.value) -> Hashtbl.replace defs r.Ir.vid o) o.Ir.results)
+    ops;
+  (* find a producer loop, skip interleaved allocs/constants, consumer loop *)
+  let is_barrier (o : Ir.op) =
+    (* ops between the loops that could observe or change the buffer *)
+    not
+      (List.mem o.Ir.name
+         [ "memref.alloc"; "arith.constant" ])
+  in
+  let rec go acc = function
+    | (p : Ir.op) :: rest when String.equal p.Ir.name "scf.for" -> (
+        (* scan forward over non-barrier ops for the next loop *)
+        let rec scan skipped = function
+          | (c : Ir.op) :: tail when String.equal c.Ir.name "scf.for" -> (
+              match try_fuse ctx defs p c with
+              | Some fused ->
+                  Some (List.rev_append acc (List.rev skipped @ (fused :: tail)))
+              | None -> None)
+          | o :: tail when not (is_barrier o) -> scan (o :: skipped) tail
+          | _ -> None
+        in
+        match scan [] rest with
+        | Some ops' -> (ops', true)
+        | None -> go (p :: acc) rest)
+    | o :: rest -> go (o :: acc) rest
+    | [] -> (List.rev acc, false)
+  in
+  go [] ops
+
+let rec fuse_ops ctx ops =
+  let ops', changed = fuse_once ctx ops in
+  if changed then fuse_ops ctx ops' else ops'
+
+let fuse_func ctx (f : Ir.func) : Ir.func =
+  { f with Ir.fbody = fuse_ops ctx f.Ir.fbody }
+
+let fuse_module ctx (m : Ir.modul) : Ir.modul =
+  { m with Ir.funcs = List.map (fuse_func ctx) m.Ir.funcs }
+
+let pass = Pass.make "loop-fusion" fuse_module
+
+let count_loops (f : Ir.func) =
+  Ir.fold_ops
+    (fun acc (o : Ir.op) -> if String.equal o.Ir.name "scf.for" then acc + 1 else acc)
+    0 f.Ir.fbody

@@ -1,0 +1,23 @@
+(** Producer-consumer loop fusion.
+
+    The tensor-to-loops lowering emits one loop nest per tensor op; chains
+    of elementwise ops become chains of identical-range loops communicating
+    through intermediate buffers.  Fusion merges a producer loop into its
+    consumer when the ranges match, the producer stores exactly once at the
+    induction variable and the consumer only loads that buffer at its own
+    induction variable — replacing the loads by the produced value.
+
+    Fusing shrinks memory traffic and hands the HLS flow one larger body —
+    a concrete instance of the paper's "co-optimize computation,
+    communication and storage". *)
+
+(** Fuse to fixpoint within a function body (top-level loops only). *)
+val fuse_func : Everest_ir.Ir.ctx -> Everest_ir.Ir.func -> Everest_ir.Ir.func
+
+val fuse_module : Everest_ir.Ir.ctx -> Everest_ir.Ir.modul -> Everest_ir.Ir.modul
+
+(** The fusion as a pipeline pass. *)
+val pass : Everest_ir.Pass.t
+
+(** Number of [scf.for] ops in the function (for tests and reports). *)
+val count_loops : Everest_ir.Ir.func -> int

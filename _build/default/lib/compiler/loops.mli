@@ -1,0 +1,29 @@
+(** Bufferization + tensor-to-loops lowering.
+
+    Value-semantics tensor ops become [scf.for] loop nests over 1-D memrefs
+    (row-major linearization).  This is the software-lowering leg of Fig. 1:
+    the lowered inner loop bodies are exactly what the HLS flow consumes
+    for the hardware leg; the test suite checks semantic equivalence
+    against the tensor-level interpreter.
+
+    Supported: fill, elementwise, scale, matmul, transpose, reshape,
+    reduce.  [tensor.contract] stays at tensor level. *)
+
+exception Unsupported of string
+
+(** Memref counterpart of a tensor type (1-D, linearized). *)
+val buf_type : Everest_ir.Types.t -> Everest_ir.Types.t
+
+(** Lower a function: tensor arguments and results become memrefs.
+    @raise Unsupported on dynamic shapes or unhandled tensor ops. *)
+val lower_func : Everest_ir.Ir.ctx -> Everest_ir.Ir.func -> Everest_ir.Ir.func
+
+val lower_module : Everest_ir.Ir.ctx -> Everest_ir.Ir.modul -> Everest_ir.Ir.modul
+
+(** The lowering as a pipeline pass. *)
+val pass : Everest_ir.Pass.t
+
+(** Deepest [scf.for] body (ops plus induction variable): the candidate the
+    HLS flow synthesizes. *)
+val innermost_body :
+  Everest_ir.Ir.func -> (Everest_ir.Ir.op list * Everest_ir.Ir.value) option

@@ -1,0 +1,37 @@
+(** The end-to-end compilation pipeline of Fig. 1:
+
+    DSL workflow -> unified IR (front-end) -> canonicalized IR (middle-end
+    passes) -> per-kernel variants via DSE (middle-end exploration) ->
+    executable workflow DAG + tuner knowledge + emitted code (back-end).
+
+    The produced {!compiled_app} is what the EVEREST SDK hands to the
+    virtualized runtime. *)
+
+type compiled_kernel = {
+  ck_name : string;
+  expr : Everest_dsl.Tensor_expr.expr;
+  annots : Everest_dsl.Annot.t list;
+  dse : Dse.result;
+  knowledge : Everest_autotune.Knowledge.t;
+  sycl : string;  (** Emitted code of the best software variant. *)
+}
+
+type compiled_app = {
+  app_name : string;
+  ir : Everest_ir.Ir.modul;  (** Unified, canonicalized module. *)
+  kernels : compiled_kernel list;
+  dag : Everest_workflow.Dag.t;
+  pass_reports : Everest_ir.Pass.report list;
+  violations : (string * Everest_security.Ift.flow_violation) list;
+      (** Static information-flow audit results. *)
+}
+
+exception Compile_error of string
+
+(** Compile a workflow graph.
+    @raise Compile_error on invalid graphs or IR verification failures. *)
+val compile :
+  ?target:Variants.target -> Everest_dsl.Dataflow.graph -> compiled_app
+
+val total_variants : compiled_app -> int
+val report : Format.formatter -> compiled_app -> unit

@@ -1,0 +1,165 @@
+(* Generation of hardware and software variants (Fig. 1, middle-end).
+
+   Every kernel is expanded into a set of implementation candidates with
+   estimated metrics; the DSE prunes them; survivors become the operating
+   points the runtime selects among. *)
+
+open Everest_dsl
+open Everest_platform
+
+type target = {
+  cpu : Spec.cpu;
+  fpga : Spec.fpga option;
+  sw_tiles : int list;
+  sw_threads : int list;
+  hw_unrolls : int list;
+}
+
+let default_target =
+  { cpu = Spec.power9; fpga = Some Spec.bus_fpga; sw_tiles = [ 16; 32; 64 ];
+    sw_threads = [ 1; 2; 4; 8; 16 ]; hw_unrolls = [ 1; 4; 16; 64; 256 ] }
+
+type impl =
+  | Sw of Cost_model.sw_params
+  | Hw of { unroll : int; design : Everest_hls.Hls.design }
+
+type variant = {
+  vname : string;
+  impl : impl;
+  time_s : float;
+  energy_j : float;
+  area_luts : int;  (* 0 for software *)
+}
+
+let in_out_bytes (e : Tensor_expr.expr) =
+  let ins =
+    List.fold_left
+      (fun acc (_, s) -> acc + (8 * Tensor_expr.num_elems s))
+      0 (Tensor_expr.inputs e)
+  in
+  (ins, 8 * Tensor_expr.num_elems (Tensor_expr.shape e))
+
+let sw_variants (t : target) (e : Tensor_expr.expr) : variant list =
+  let tiles =
+    if Cost_model.has_contraction e then
+      None :: List.map (fun x -> Some x) t.sw_tiles
+    else [ None ]
+  in
+  List.concat_map
+    (fun tile ->
+      List.concat_map
+        (fun layout ->
+          List.map
+            (fun threads ->
+              let p = { Cost_model.tile; layout; threads } in
+              {
+                vname = Cost_model.variant_name p;
+                impl = Sw p;
+                time_s = Cost_model.sw_time t.cpu e p;
+                energy_j = Cost_model.sw_energy t.cpu e p;
+                area_luts = 0;
+              })
+            t.sw_threads)
+        [ Cost_model.Aos; Cost_model.Soa ])
+    tiles
+
+let hw_variants (t : target) ?(dift = false) (e : Tensor_expr.expr) :
+    variant list =
+  match t.fpga with
+  | None -> []
+  | Some fpga ->
+      let in_bytes, out_bytes = in_out_bytes e in
+      let total_work = Hw_lower.trips e ~unroll:1 in
+      List.filter_map
+        (fun unroll ->
+          if unroll > 1 && unroll * 4 > total_work then None
+          else
+          let dfg = Hw_lower.dfg_of_expr ~unroll e in
+          let trips = Hw_lower.trips e ~unroll in
+          let c =
+            { Everest_hls.Hls.default_constraints with
+              Everest_hls.Hls.clock_mhz = fpga.Spec.clock_mhz;
+              unroll; trips; dift; max_banks = max 16 unroll;
+              res =
+                { Everest_hls.Schedule.default_resources with
+                  Everest_hls.Schedule.adders = 2 * unroll;
+                  multipliers = 2 * unroll; mem_ports = 2 } }
+          in
+          let design = Everest_hls.Hls.synthesize ~c dfg in
+          let est = design.Everest_hls.Hls.estimate in
+          if not (Everest_hls.Estimate.fits ~budget:(Spec.fpga_budget fpga) est)
+          then None
+          else
+            let link =
+              match fpga.Spec.attach with
+              | Spec.Bus_coherent -> Spec.opencapi
+              | Spec.Network_attached -> Spec.eth100_tcp
+            in
+            let t_exec = Spec.fpga_kernel_time fpga est in
+            let t_io =
+              Spec.transfer_time link ~bytes:in_bytes
+              +. Spec.transfer_time link ~bytes:out_bytes
+            in
+            let time_s = t_exec +. t_io in
+            Some
+              {
+                vname =
+                  Printf.sprintf "hw-u%d%s" unroll (if dift then "-dift" else "");
+                impl = Hw { unroll; design };
+                time_s;
+                energy_j =
+                  (t_exec *. est.Everest_hls.Estimate.dynamic_power_w)
+                  +. (t_io *. 0.2 *. fpga.Spec.active_w);
+                area_luts = est.Everest_hls.Estimate.area.Everest_hls.Estimate.luts;
+              })
+        t.hw_unrolls
+
+(* All variants of a kernel under a target.  Security annotations requiring
+   confidentiality force DIFT-instrumented hardware variants. *)
+let generate ?(target = default_target) ?(annots = []) (e : Tensor_expr.expr) :
+    variant list =
+  let need_dift =
+    Everest_ir.Dialect_sec.level_leq Everest_ir.Dialect_sec.Confidential
+      (Annot.security_level annots)
+  in
+  sw_variants target e @ hw_variants target ~dift:need_dift e
+
+(* ---- Pareto filtering ------------------------------------------------------------ *)
+
+(* Keep the points not dominated in (time, energy, area). *)
+let dominates a b =
+  a.time_s <= b.time_s && a.energy_j <= b.energy_j
+  && a.area_luts <= b.area_luts
+  && (a.time_s < b.time_s || a.energy_j < b.energy_j || a.area_luts < b.area_luts)
+
+let pareto (vs : variant list) =
+  List.filter (fun v -> not (List.exists (fun w -> dominates w v) vs)) vs
+
+(* ---- bridges to the runtime -------------------------------------------------------- *)
+
+let to_knowledge ~kernel ?(features = []) (vs : variant list) :
+    Everest_autotune.Knowledge.t =
+  Everest_autotune.Knowledge.create kernel
+    (List.map
+       (fun v ->
+         { Everest_autotune.Knowledge.variant = v.vname; features;
+           metrics =
+             [ ("time_s", v.time_s); ("energy_j", v.energy_j);
+               ("area_luts", float_of_int v.area_luts) ] })
+       vs)
+
+let to_dag_impl (e : Tensor_expr.expr) (v : variant) : Everest_workflow.Dag.impl =
+  let in_bytes, out_bytes = in_out_bytes e in
+  match v.impl with
+  | Sw p ->
+      Everest_workflow.Dag.Cpu
+        { flops = float_of_int (Tensor_expr.flops e);
+          bytes = Cost_model.traffic_bytes e p;
+          threads = p.Cost_model.threads }
+  | Hw { design; _ } ->
+      Everest_workflow.Dag.Fpga
+        { bitstream = v.vname; estimate = design.Everest_hls.Hls.estimate;
+          in_bytes; out_bytes }
+
+let pp ppf v =
+  Fmt.pf ppf "%-20s %.3es %.3eJ %7d LUT" v.vname v.time_s v.energy_j v.area_luts

@@ -1,0 +1,63 @@
+(** Generation of hardware and software variants (Fig. 1, middle-end).
+
+    Every kernel expands into implementation candidates with estimated
+    metrics; the DSE prunes them; survivors become the operating points the
+    runtime selects among. *)
+
+open Everest_platform
+
+type target = {
+  cpu : Spec.cpu;
+  fpga : Spec.fpga option;
+  sw_tiles : int list;
+  sw_threads : int list;
+  hw_unrolls : int list;
+}
+
+(** POWER9 + bus FPGA with a moderate knob grid. *)
+val default_target : target
+
+type impl =
+  | Sw of Cost_model.sw_params
+  | Hw of { unroll : int; design : Everest_hls.Hls.design }
+
+type variant = {
+  vname : string;
+  impl : impl;
+  time_s : float;
+  energy_j : float;
+  area_luts : int;  (** 0 for software variants. *)
+}
+
+val in_out_bytes : Everest_dsl.Tensor_expr.expr -> int * int
+val sw_variants : target -> Everest_dsl.Tensor_expr.expr -> variant list
+
+(** Hardware candidates that fit the target FPGA; [dift] instruments every
+    design with taint tracking. *)
+val hw_variants : target -> ?dift:bool -> Everest_dsl.Tensor_expr.expr -> variant list
+
+(** Full variant space.  Kernels annotated Confidential or higher get
+    DIFT-instrumented hardware variants. *)
+val generate :
+  ?target:target ->
+  ?annots:Everest_dsl.Annot.t list ->
+  Everest_dsl.Tensor_expr.expr ->
+  variant list
+
+(** Pareto dominance in (time, energy, area). *)
+val dominates : variant -> variant -> bool
+
+val pareto : variant list -> variant list
+
+(** Bridge to the runtime: variants as mARGOt operating points. *)
+val to_knowledge :
+  kernel:string ->
+  ?features:(string * float) list ->
+  variant list ->
+  Everest_autotune.Knowledge.t
+
+(** Bridge to the workflow layer: a variant as a task implementation. *)
+val to_dag_impl :
+  Everest_dsl.Tensor_expr.expr -> variant -> Everest_workflow.Dag.impl
+
+val pp : Format.formatter -> variant -> unit

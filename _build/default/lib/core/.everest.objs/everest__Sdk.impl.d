@@ -1,0 +1,1 @@
+lib/core/sdk.ml: Everest_autotune Everest_compiler Everest_dsl Everest_ir Everest_platform Everest_runtime Everest_workflow Fmt List String

@@ -1,0 +1,75 @@
+(** The EVEREST System Development Kit facade.
+
+    One entry point for the full flow the paper describes: describe the
+    application as an annotated workflow (§III-A), compile it into hardware
+    and software variants (§III-B), deploy it on the simulated target
+    system (§V) and run it under the virtualized adaptive runtime (§IV). *)
+
+(** Convenience aliases to the subsystem libraries. *)
+module Dsl = Everest_dsl
+
+module Ir = Everest_ir
+module Compiler = Everest_compiler
+module Platform = Everest_platform
+module Workflow = Everest_workflow
+module Runtime = Everest_runtime
+module Autotune = Everest_autotune
+
+type app = Compiler.Pipeline.compiled_app
+
+(** {2 Describe} *)
+
+(** Start a new workflow graph. *)
+val workflow : string -> Dsl.Dataflow.graph
+
+(** {2 Compile} *)
+
+(** Front-end + middle-end + back-end; see {!Everest_compiler.Pipeline}.
+    @raise Everest_compiler.Pipeline.Compile_error on invalid inputs. *)
+val compile : ?target:Compiler.Variants.target -> Dsl.Dataflow.graph -> app
+
+(** Static information-flow audit results of the compiled IR. *)
+val security_report :
+  app -> (string * Everest_security.Ift.flow_violation) list
+
+(** {2 Deploy and run} *)
+
+type run_stats = {
+  makespan_s : float;
+  energy_j : float;
+  bytes_moved : int;
+  policy : string;
+}
+
+(** Execute the compiled workflow on a fresh EVEREST demonstrator. *)
+val run :
+  ?policy:string -> ?cloud_fpgas:int -> ?edges:int -> ?endpoints:int -> app ->
+  run_stats
+
+(** Run the same application under several scheduling policies. *)
+val compare_policies : ?policies:string list -> app -> (string * run_stats) list
+
+(** {2 Adaptive serving (the Fig. 2 loop)} *)
+
+type served = {
+  kernel : string;
+  requests : int;
+  mean_latency_s : float;
+  variant_histogram : (string * int) list;
+  switches : int;
+}
+
+(** Serve [n] closed-loop requests of one compiled kernel through the
+    virtualized runtime with mARGOt selection.  [slowdown req variant]
+    injects contention.
+    @raise Invalid_argument on unknown kernels. *)
+val serve :
+  ?n:int ->
+  ?goal:Autotune.Goal.t ->
+  ?slowdown:(int -> string -> float) ->
+  app ->
+  kernel:string ->
+  served
+
+val pp_run : Format.formatter -> run_stats -> unit
+val pp_served : Format.formatter -> served -> unit

@@ -1,0 +1,1 @@
+lib/dsl/annot.ml: Attr Dialect_sec Everest_ir Fmt List Option Printf Scanf String

@@ -1,0 +1,1 @@
+lib/dsl/annot.mli: Everest_ir Format

@@ -1,0 +1,1 @@
+lib/dsl/dataflow.ml: Annot Float Fmt Hashtbl List Printf String Tensor_expr

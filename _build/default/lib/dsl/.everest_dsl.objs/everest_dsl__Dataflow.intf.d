@@ -1,0 +1,1 @@
+lib/dsl/dataflow.mli: Annot Format Tensor_expr

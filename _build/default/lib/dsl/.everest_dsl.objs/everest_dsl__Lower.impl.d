@@ -1,0 +1,1 @@
+lib/dsl/lower.ml: Annot Array Attr Dataflow Dialect_arith Dialect_df Dialect_func Dialect_tensor Everest_ir Hashtbl Interp Ir List Tensor_expr Types

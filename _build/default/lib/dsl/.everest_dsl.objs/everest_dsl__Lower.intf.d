@@ -1,0 +1,1 @@
+lib/dsl/lower.mli: Annot Dataflow Everest_ir Tensor_expr

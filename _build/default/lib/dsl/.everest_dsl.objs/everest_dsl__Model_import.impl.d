@@ -1,0 +1,1 @@
+lib/dsl/model_import.ml: List Printf String Tensor_expr

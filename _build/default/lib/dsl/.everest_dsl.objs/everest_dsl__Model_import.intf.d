@@ -1,0 +1,1 @@
+lib/dsl/model_import.mli: Tensor_expr

@@ -1,0 +1,1 @@
+lib/dsl/particles.ml: Array Everest_ml Float List String

@@ -1,0 +1,1 @@
+lib/dsl/tensor_expr.ml: Array Dump Everest_ir Float Fmt Hashtbl List Stdlib String

@@ -1,0 +1,1 @@
+lib/dsl/tensor_expr.mli: Format

@@ -1,0 +1,28 @@
+(** Lowering from the eDSLs into the unified IR (the compiler front-end of
+    Fig. 1: "unifies the orchestration and the kernel specifications into a
+    single MLIR"). *)
+
+(** IR type of a tensor shape ([[]] maps to scalar [f64]). *)
+val tensor_type : int list -> Everest_ir.Types.t
+
+(** [lower_expr ctx e] lowers a tensor expression to a function over its
+    free inputs (argument order follows {!Tensor_expr.inputs}).  [annots]
+    become function attributes. *)
+val lower_expr :
+  ?fname:string ->
+  ?annots:Annot.t list ->
+  Everest_ir.Ir.ctx ->
+  Tensor_expr.expr ->
+  Everest_ir.Ir.func
+
+(** Evaluate a lowered kernel through the IR interpreter; returns the result
+    tensor and the execution profile. *)
+val run_lowered :
+  Everest_ir.Ir.ctx ->
+  Everest_ir.Ir.func ->
+  Tensor_expr.tensor list ->
+  Tensor_expr.tensor * Everest_ir.Interp.profile
+
+(** Lower a workflow graph to a module: one function per tensor kernel plus
+    a [main] orchestration function holding the [df.graph]. *)
+val lower_graph : Everest_ir.Ir.ctx -> Dataflow.graph -> Everest_ir.Ir.modul

@@ -1,0 +1,75 @@
+(** Particle abstraction (the second EVEREST data-centric DSL, §III-B:
+    "Tensors and particles are two examples of EVEREST data-centric
+    programming abstractions").
+
+    A particle system holds N particles with named float attributes.
+    Kernels are per-particle maps or cutoff-limited pairwise interactions.
+    The same system can be laid out as array-of-structures (AoS) or
+    structure-of-arrays (SoA); the layout changes memory behaviour, not
+    semantics — the software-variant axis the paper's middle-end explores. *)
+
+type layout = Aos | Soa
+
+type system = {
+  n : int;
+  attrs : string list;  (** Attribute order defines the AoS field order. *)
+  layout : layout;
+  data : float array;
+}
+
+val n_attrs : system -> int
+
+(** @raise Invalid_argument on unknown attributes. *)
+val attr_index : system -> string -> int
+
+val create : ?layout:layout -> n:int -> string list -> system
+val get : system -> int -> string -> float
+val set : system -> int -> string -> float -> unit
+val get_by_index : system -> int -> int -> float
+val set_by_index : system -> int -> int -> float -> unit
+
+(** Same logical contents in the other layout. *)
+val with_layout : system -> layout -> system
+
+val equal_contents : system -> system -> bool
+
+(** {2 Kernels} *)
+
+(** Per-particle map: [f] receives current values in [reads] order and
+    returns new values in [writes] order. *)
+val map_kernel :
+  system -> reads:string list -> writes:string list ->
+  (float list -> float list) -> unit
+
+(** Cutoff-limited symmetric pairwise interaction on (x, y) accumulating
+    into (fx, fy); returns the number of interacting pairs. *)
+val pairwise_kernel :
+  system -> cutoff:float -> (float -> float -> float -> float * float) -> int
+
+(** {2 Layout cost model} *)
+
+(** Bytes a map kernel drags through the memory system: AoS loads whole
+    records, SoA streams only the touched fields. *)
+val map_traffic_bytes : system -> reads:string list -> writes:string list -> int
+
+val soa_speedup : system -> reads:string list -> writes:string list -> float
+
+(** SoA when kernels touch a minority of fields, else AoS. *)
+val recommend_layout :
+  system -> reads:string list -> writes:string list -> layout
+
+(** {2 Reference simulation} *)
+
+(** One leapfrog step of a 2-D short-range force field; returns the number
+    of interacting pairs. *)
+val step :
+  ?dt:float ->
+  system ->
+  cutoff:float ->
+  force:(float -> float -> float -> float * float) ->
+  int
+
+val standard_attrs : string list
+
+val random_system :
+  ?seed:int -> ?layout:layout -> n:int -> box:float -> unit -> system

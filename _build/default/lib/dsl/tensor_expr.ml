@@ -1,0 +1,331 @@
+(* Typed tensor-expression eDSL (the CFDlang / TeIL lineage of EVEREST).
+
+   Expressions are built with smart constructors that perform shape
+   inference eagerly, so ill-shaped programs are rejected at construction
+   time — the "provably safe execution" the paper attributes to typed
+   tensor languages.  An expression can be evaluated directly (reference
+   semantics), cost-analyzed, or lowered to the tensor dialect of the IR. *)
+
+exception Shape_error of string
+
+let shape_err fmt = Fmt.kstr (fun s -> raise (Shape_error s)) fmt
+
+type binop = Add | Sub | Mul | Div | Max | Min
+type unop = Relu | Sigmoid | Tanh | Exp | Neg | Sqrt
+type reduction = Sum | Prod | Rmax | Rmin
+
+type expr = { node : node; shape : int list }
+
+and node =
+  | Input of string
+  | Const of float
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Scale of float * expr
+  | Matmul of expr * expr
+  | Transpose of expr
+  | Reshape of expr
+  | Reduce of reduction * expr
+  | Contract of string * expr list
+
+let shape e = e.shape
+let num_elems s = List.fold_left ( * ) 1 s
+
+let input name shape = { node = Input name; shape }
+let const ?(shape = []) v = { node = Const v; shape }
+let scalar v = const v
+
+let binop op a b =
+  if a.shape <> b.shape then
+    shape_err "elementwise %s: shapes %a vs %a"
+      (match op with Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div"
+       | Max -> "max" | Min -> "min")
+      Fmt.(Dump.list int) a.shape Fmt.(Dump.list int) b.shape;
+  { node = Binop (op, a, b); shape = a.shape }
+
+let add = binop Add
+let sub = binop Sub
+let mul = binop Mul
+let div = binop Div
+let max_ a b = binop Max a b
+let min_ a b = binop Min a b
+
+(* Infix operators, in a submodule so arithmetic inside this file and in
+   client code stays unambiguous unless explicitly opened. *)
+module O = struct
+  let ( + ) a b = binop Add a b
+  let ( - ) a b = binop Sub a b
+  let ( * ) a b = binop Mul a b
+  let ( / ) a b = binop Div a b
+end
+
+let unop op a = { node = Unop (op, a); shape = a.shape }
+let relu a = unop Relu a
+let sigmoid a = unop Sigmoid a
+let tanh_ a = unop Tanh a
+let exp_ a = unop Exp a
+let neg a = unop Neg a
+let sqrt_ a = unop Sqrt a
+
+let scale k a = { node = Scale (k, a); shape = a.shape }
+
+let matmul a b =
+  match (a.shape, b.shape) with
+  | [ m; k ], [ k'; n ] when k = k' -> { node = Matmul (a, b); shape = [ m; n ] }
+  | _ ->
+      shape_err "matmul: %a x %a" Fmt.(Dump.list int) a.shape
+        Fmt.(Dump.list int) b.shape
+
+let transpose a =
+  match a.shape with
+  | [ m; n ] -> { node = Transpose a; shape = [ n; m ] }
+  | _ -> shape_err "transpose: rank-2 required"
+
+let reshape new_shape a =
+  if num_elems new_shape <> num_elems a.shape then
+    shape_err "reshape: %d elements into %d" (num_elems a.shape)
+      (num_elems new_shape);
+  { node = Reshape a; shape = new_shape }
+
+let reduce r a = { node = Reduce (r, a); shape = [] }
+let sum a = reduce Sum a
+
+(* Einsum-style contraction.  The spec fixes operand ranks and output
+   shape; extents are checked for consistency across operands. *)
+let contract spec operands =
+  let lhs, rhs =
+    match String.index_opt spec '>' with
+    | Some i when Stdlib.( > ) i 0 && spec.[i - 1] = '-' ->
+        ( String.sub spec 0 (i - 1),
+          String.sub spec Stdlib.(i + 1) Stdlib.(String.length spec - i - 1) )
+    | _ -> shape_err "contract: bad spec %S" spec
+  in
+  let in_specs = String.split_on_char ',' lhs in
+  if List.length in_specs <> List.length operands then
+    shape_err "contract: %d specs for %d operands" (List.length in_specs)
+      (List.length operands);
+  let extents = Hashtbl.create 8 in
+  List.iter2
+    (fun s (e : expr) ->
+      if String.length s <> List.length e.shape then
+        shape_err "contract: spec %S does not match rank %d" s
+          (List.length e.shape);
+      List.iteri
+        (fun i d ->
+          let l = s.[i] in
+          match Hashtbl.find_opt extents l with
+          | Some d' when d' <> d ->
+              shape_err "contract: label %c has extents %d and %d" l d' d
+          | _ -> Hashtbl.replace extents l d)
+        e.shape)
+    in_specs operands;
+  let out_shape =
+    List.init (String.length rhs) (fun i ->
+        match Hashtbl.find_opt extents rhs.[i] with
+        | Some d -> d
+        | None -> shape_err "contract: output label %c unbound" rhs.[i])
+  in
+  { node = Contract (spec, operands); shape = out_shape }
+
+(* ---- free inputs ----------------------------------------------------------- *)
+
+let rec inputs_of e acc =
+  match e.node with
+  | Input n -> if List.mem_assoc n acc then acc else (n, e.shape) :: acc
+  | Const _ -> acc
+  | Binop (_, a, b) | Matmul (a, b) -> inputs_of b (inputs_of a acc)
+  | Unop (_, a) | Scale (_, a) | Transpose a | Reshape a | Reduce (_, a) ->
+      inputs_of a acc
+  | Contract (_, es) -> List.fold_left (fun acc e -> inputs_of e acc) acc es
+
+let inputs e = List.rev (inputs_of e [])
+
+(* ---- reference evaluation --------------------------------------------------- *)
+
+type tensor = { dims : int list; data : float array }
+
+let tensor dims data =
+  if num_elems dims <> Array.length data then invalid_arg "tensor: size mismatch";
+  { dims; data }
+
+let tensor_scalar v = { dims = []; data = [| v |] }
+
+let binop_fun = function
+  | Add -> ( +. ) | Sub -> ( -. ) | Mul -> ( *. ) | Div -> ( /. )
+  | Max -> Float.max | Min -> Float.min
+
+let unop_fun = function
+  | Relu -> fun x -> Float.max 0.0 x
+  | Sigmoid -> fun x -> 1.0 /. (1.0 +. exp (-.x))
+  | Tanh -> Float.tanh
+  | Exp -> exp
+  | Neg -> fun x -> -.x
+  | Sqrt -> sqrt
+
+let rec eval (env : (string * tensor) list) (e : expr) : tensor =
+  match e.node with
+  | Input n -> (
+      match List.assoc_opt n env with
+      | Some t ->
+          if t.dims <> e.shape then
+            shape_err "eval: input %S has shape %a, expected %a" n
+              Fmt.(Dump.list int) t.dims Fmt.(Dump.list int) e.shape;
+          t
+      | None -> shape_err "eval: missing input %S" n)
+  | Const v -> { dims = e.shape; data = Array.make (num_elems e.shape) v }
+  | Binop (op, a, b) ->
+      let ta = eval env a and tb = eval env b in
+      { dims = ta.dims; data = Array.map2 (binop_fun op) ta.data tb.data }
+  | Unop (op, a) ->
+      let ta = eval env a in
+      { dims = ta.dims; data = Array.map (unop_fun op) ta.data }
+  | Scale (k, a) ->
+      let ta = eval env a in
+      { dims = ta.dims; data = Array.map (fun x -> k *. x) ta.data }
+  | Matmul (a, b) -> (
+      let ta = eval env a and tb = eval env b in
+      match (ta.dims, tb.dims) with
+      | [ m; k ], [ _; n ] ->
+          let out = Array.make Stdlib.(m * n) 0.0 in
+          for i = 0 to Stdlib.(m - 1) do
+            for j = 0 to Stdlib.(n - 1) do
+              let acc = ref 0.0 in
+              for l = 0 to Stdlib.(k - 1) do
+                acc :=
+                  !acc
+                  +. Stdlib.( *. )
+                       ta.data.(Stdlib.((i * k) + l))
+                       tb.data.(Stdlib.((l * n) + j))
+              done;
+              out.(Stdlib.((i * n) + j)) <- !acc
+            done
+          done;
+          { dims = [ m; n ]; data = out }
+      | _ -> assert false)
+  | Transpose a -> (
+      let ta = eval env a in
+      match ta.dims with
+      | [ m; n ] ->
+          let out = Array.make Stdlib.(m * n) 0.0 in
+          for i = 0 to Stdlib.(m - 1) do
+            for j = 0 to Stdlib.(n - 1) do
+              out.(Stdlib.((j * m) + i)) <- ta.data.(Stdlib.((i * n) + j))
+            done
+          done;
+          { dims = [ n; m ]; data = out }
+      | _ -> assert false)
+  | Reshape a ->
+      let ta = eval env a in
+      { dims = e.shape; data = ta.data }
+  | Reduce (r, a) ->
+      let ta = eval env a in
+      let f, init =
+        match r with
+        | Sum -> (( +. ), 0.0)
+        | Prod -> (( *. ), 1.0)
+        | Rmax -> (Float.max, neg_infinity)
+        | Rmin -> (Float.min, infinity)
+      in
+      tensor_scalar (Array.fold_left f init ta.data)
+  | Contract (spec, operands) ->
+      let ts = List.map (eval env) operands in
+      let bufs =
+        List.map
+          (fun (t : tensor) ->
+            { Everest_ir.Interp.shape = t.dims; data = t.data;
+              space = Everest_ir.Types.Host })
+          ts
+      in
+      let out = Everest_ir.Interp.einsum spec bufs in
+      { dims = out.Everest_ir.Interp.shape; data = out.Everest_ir.Interp.data }
+
+(* ---- cost model -------------------------------------------------------------- *)
+
+(* Floating-point operations needed by a single evaluation. *)
+let rec flops e =
+  let open Stdlib in
+  match e.node with
+  | Input _ | Const _ -> 0
+  | Binop (_, a, b) -> num_elems e.shape + flops a + flops b
+  | Unop (_, a) | Scale (_, a) -> num_elems e.shape + flops a
+  | Matmul (a, b) -> (
+      match (a.shape, b.shape) with
+      | [ m; k ], [ _; n ] -> (2 * m * n * k) + flops a + flops b
+      | _ -> assert false)
+  | Transpose a | Reshape a -> flops a
+  | Reduce (_, a) -> num_elems a.shape + flops a
+  | Contract (spec, operands) ->
+      (* index-space size = product of distinct label extents *)
+      let all_labels = Hashtbl.create 8 in
+      let lhs =
+        match String.index_opt spec '-' with
+        | Some i -> String.sub spec 0 i
+        | None -> spec
+      in
+      let in_specs = String.split_on_char ',' lhs in
+      List.iter2
+        (fun s (o : expr) ->
+          List.iteri (fun i d -> Hashtbl.replace all_labels s.[i] d) o.shape)
+        in_specs operands;
+      let space = Hashtbl.fold (fun _ d acc -> acc * d) all_labels 1 in
+      (2 * space) + List.fold_left (fun acc o -> acc + flops o) 0 operands
+
+(* Bytes touched, assuming each input is read once and output written once. *)
+let bytes_moved e =
+  let open Stdlib in
+  let ins = inputs e in
+  let in_bytes =
+    List.fold_left (fun acc (_, s) -> acc + (8 * num_elems s)) 0 ins
+  in
+  in_bytes + (8 * num_elems e.shape)
+
+(* Arithmetic intensity: flops per byte (key driver of HW/SW partitioning). *)
+let intensity e =
+  let b = bytes_moved e in
+  if Stdlib.( = ) b 0 then 0.0 else float_of_int (flops e) /. float_of_int b
+
+let rec depth e =
+  let open Stdlib in
+  match e.node with
+  | Input _ | Const _ -> 0
+  | Binop (_, a, b) | Matmul (a, b) -> 1 + max (depth a) (depth b)
+  | Unop (_, a) | Scale (_, a) | Transpose a | Reshape a | Reduce (_, a) ->
+      1 + depth a
+  | Contract (_, es) -> 1 + List.fold_left (fun m x -> max m (depth x)) 0 es
+
+let rec node_count e =
+  let open Stdlib in
+  match e.node with
+  | Input _ | Const _ -> 1
+  | Binop (_, a, b) | Matmul (a, b) -> 1 + node_count a + node_count b
+  | Unop (_, a) | Scale (_, a) | Transpose a | Reshape a | Reduce (_, a) ->
+      1 + node_count a
+  | Contract (_, es) -> List.fold_left (fun n x -> Stdlib.( + ) n (node_count x)) 1 es
+
+(* ---- pretty-printing ---------------------------------------------------------- *)
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Max -> "max" | Min -> "min"
+
+let unop_name = function
+  | Relu -> "relu" | Sigmoid -> "sigmoid" | Tanh -> "tanh" | Exp -> "exp"
+  | Neg -> "neg" | Sqrt -> "sqrt"
+
+let rec pp ppf e =
+  match e.node with
+  | Input n -> Fmt.pf ppf "%s" n
+  | Const v -> Fmt.pf ppf "%g" v
+  | Binop (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp a (binop_name op) pp b
+  | Unop (op, a) -> Fmt.pf ppf "%s(%a)" (unop_name op) pp a
+  | Scale (k, a) -> Fmt.pf ppf "(%g . %a)" k pp a
+  | Matmul (a, b) -> Fmt.pf ppf "(%a @ %a)" pp a pp b
+  | Transpose a -> Fmt.pf ppf "%a^T" pp a
+  | Reshape a -> Fmt.pf ppf "reshape(%a)" pp a
+  | Reduce (Sum, a) -> Fmt.pf ppf "sum(%a)" pp a
+  | Reduce (Prod, a) -> Fmt.pf ppf "prod(%a)" pp a
+  | Reduce (Rmax, a) -> Fmt.pf ppf "rmax(%a)" pp a
+  | Reduce (Rmin, a) -> Fmt.pf ppf "rmin(%a)" pp a
+  | Contract (spec, es) ->
+      Fmt.pf ppf "einsum[%s](%a)" spec Fmt.(list ~sep:(any ", ") pp) es
+
+let to_string e = Fmt.str "%a" pp e

@@ -1,0 +1,1 @@
+lib/energy/forecast.ml: Array Dataset Everest_ml Float List Metrics Mlp Weather Windfarm

@@ -1,0 +1,1 @@
+lib/energy/forecast.mli: Weather Windfarm

@@ -1,0 +1,1 @@
+lib/energy/weather.ml: Array Everest_ml Float Metrics Rng

@@ -1,0 +1,1 @@
+lib/energy/windfarm.ml: Array Weather

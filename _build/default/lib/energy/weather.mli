@@ -1,0 +1,41 @@
+(** Synthetic weather for the renewable-energy use case (§VI-A).
+
+    A hidden "truth" combines synoptic variability, a diurnal cycle,
+    terrain-induced local structure and occasional ramp events — the sudden
+    local changes the paper says coarse global models miss.  An ensemble
+    member at a given grid resolution sees the truth low-pass filtered by
+    its resolution plus model noise; higher resolution keeps more local
+    structure, which is exactly the benefit EVEREST gets from accelerating
+    high-resolution ensembles. *)
+
+type sample = { hour : int; wind_ms : float; temp_c : float; radiation_wm2 : float }
+type series = sample array
+
+type params = {
+  days : int;
+  seed : int;
+  ramp_prob_per_day : float;
+  ramp_magnitude : float;
+}
+
+val default_params : params
+
+(** The hidden truth: hourly local weather, deterministic in the seed. *)
+val truth : params -> series
+
+(** Fraction of local structure a model resolves at the grid spacing. *)
+val resolved_fraction : resolution_km:float -> float
+
+(** One ensemble member at the given resolution. *)
+val member : params -> series -> resolution_km:float -> member_id:int -> series
+
+type ensemble = { members : series array; resolution_km : float }
+
+val generate : ?n_members:int -> params -> series -> resolution_km:float -> ensemble
+
+(** Ensemble mean and spread of wind speed at one hour. *)
+val ensemble_mean_std : ensemble -> int -> float * float
+
+(** Simulation cost of one member: halving the grid spacing quadruples the
+    cells and doubles the steps (CFL). *)
+val member_flops : resolution_km:float -> hours:int -> float

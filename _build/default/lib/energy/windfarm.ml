@@ -1,0 +1,37 @@
+(* Wind-farm power model: standard power curve per turbine. *)
+
+type turbine = {
+  cut_in_ms : float;
+  rated_ms : float;
+  cut_out_ms : float;
+  rated_kw : float;
+}
+
+let default_turbine =
+  { cut_in_ms = 3.0; rated_ms = 12.0; cut_out_ms = 25.0; rated_kw = 2500.0 }
+
+(* Cubic ramp between cut-in and rated speed. *)
+let turbine_power (t : turbine) wind_ms =
+  if wind_ms < t.cut_in_ms || wind_ms >= t.cut_out_ms then 0.0
+  else if wind_ms >= t.rated_ms then t.rated_kw
+  else
+    let x =
+      (wind_ms -. t.cut_in_ms) /. (t.rated_ms -. t.cut_in_ms)
+    in
+    t.rated_kw *. (x ** 3.0)
+
+type farm = { turbines : int; turbine : turbine; wake_loss : float }
+
+let default_farm = { turbines = 20; turbine = default_turbine; wake_loss = 0.08 }
+
+let farm_power_kw (f : farm) wind_ms =
+  float_of_int f.turbines
+  *. turbine_power f.turbine wind_ms
+  *. (1.0 -. f.wake_loss)
+
+let rated_farm_kw (f : farm) =
+  float_of_int f.turbines *. f.turbine.rated_kw *. (1.0 -. f.wake_loss)
+
+(* Power series (kW) from a weather series. *)
+let production (f : farm) (w : Weather.series) =
+  Array.map (fun (s : Weather.sample) -> farm_power_kw f s.Weather.wind_ms) w

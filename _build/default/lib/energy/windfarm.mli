@@ -1,0 +1,24 @@
+(** Wind-farm power model: standard power curve per turbine, wake losses at
+    farm level. *)
+
+type turbine = {
+  cut_in_ms : float;
+  rated_ms : float;
+  cut_out_ms : float;
+  rated_kw : float;
+}
+
+val default_turbine : turbine
+
+(** Cubic ramp between cut-in and rated speed; zero outside the operating
+    envelope. *)
+val turbine_power : turbine -> float -> float
+
+type farm = { turbines : int; turbine : turbine; wake_loss : float }
+
+val default_farm : farm
+val farm_power_kw : farm -> float -> float
+val rated_farm_kw : farm -> float
+
+(** Hourly production series (kW) from a weather series. *)
+val production : farm -> Weather.series -> float array

@@ -1,0 +1,1 @@
+lib/hls/bind.ml: Array Cdfg Fun List Schedule

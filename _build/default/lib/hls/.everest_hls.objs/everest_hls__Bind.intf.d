@@ -1,0 +1,1 @@
+lib/hls/bind.mli: Cdfg Schedule

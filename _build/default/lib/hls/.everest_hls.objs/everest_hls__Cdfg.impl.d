@@ -1,0 +1,1 @@
+lib/hls/cdfg.ml: Array Attr Dump Everest_ir Fmt Hashtbl Ir List Option Printf String Types

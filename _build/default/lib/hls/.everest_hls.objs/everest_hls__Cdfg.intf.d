@@ -1,0 +1,1 @@
+lib/hls/cdfg.mli: Everest_ir Format

@@ -1,0 +1,1 @@
+lib/hls/dift.ml: Array Cdfg Estimate List

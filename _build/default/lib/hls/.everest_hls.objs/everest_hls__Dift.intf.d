@@ -1,0 +1,1 @@
+lib/hls/dift.mli: Cdfg Estimate

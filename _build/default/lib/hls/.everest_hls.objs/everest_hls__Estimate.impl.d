@@ -1,0 +1,1 @@
+lib/hls/estimate.ml: Bind Cdfg Fmt List Option

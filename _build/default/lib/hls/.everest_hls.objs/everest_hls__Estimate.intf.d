@@ -1,0 +1,1 @@
+lib/hls/estimate.mli: Bind Cdfg Format

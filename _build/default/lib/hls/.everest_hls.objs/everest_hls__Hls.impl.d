@@ -1,0 +1,1 @@
+lib/hls/hls.ml: Bind Cdfg Dift Estimate Fmt List Mem_partition Rtl Schedule

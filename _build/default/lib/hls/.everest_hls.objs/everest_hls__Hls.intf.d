@@ -1,0 +1,1 @@
+lib/hls/hls.mli: Bind Cdfg Dift Estimate Everest_ir Format Mem_partition Rtl Schedule

@@ -1,0 +1,1 @@
+lib/hls/mem_partition.ml: Array Cdfg Hashtbl List Option Printf

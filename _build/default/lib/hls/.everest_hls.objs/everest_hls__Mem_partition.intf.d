@@ -1,0 +1,1 @@
+lib/hls/mem_partition.mli: Cdfg

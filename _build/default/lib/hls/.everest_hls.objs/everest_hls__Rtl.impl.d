@@ -1,0 +1,1 @@
+lib/hls/rtl.ml: Array Bind Cdfg Fmt List Mem_partition Printf Schedule String

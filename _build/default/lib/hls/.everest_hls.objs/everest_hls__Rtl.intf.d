@@ -1,0 +1,1 @@
+lib/hls/rtl.mli: Bind Cdfg Format Mem_partition Schedule

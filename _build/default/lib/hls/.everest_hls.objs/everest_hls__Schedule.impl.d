@@ -1,0 +1,1 @@
+lib/hls/schedule.ml: Array Cdfg Fun Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/hls/schedule.mli: Cdfg

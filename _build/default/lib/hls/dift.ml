@@ -1,0 +1,57 @@
+(* Dynamic information-flow tracking instrumentation (TaintHLS, paper [18]).
+
+   A shadow datapath propagates one taint bit per value in parallel with the
+   real computation: taint(out) = OR of taint(inputs).  Checks are inserted
+   at stores (data leaving the accelerator).  The shadow logic adds area but
+   no latency, matching the TaintHLS design point. *)
+
+type check = { store_node : int; array : string option }
+
+type instrumented = {
+  base : Cdfg.t;
+  checks : check list;
+  shadow_area : Estimate.area;
+}
+
+let instrument (g : Cdfg.t) : instrumented =
+  let checks =
+    Array.to_list g.Cdfg.nodes
+    |> List.filter_map (fun (n : Cdfg.node) ->
+           if n.Cdfg.cls = Cdfg.Store then
+             Some { store_node = n.Cdfg.id; array = n.Cdfg.array }
+           else None)
+  in
+  (* per node: an OR gate + a taint FF; per check: a comparator + trap reg *)
+  let n_ops =
+    Array.fold_left
+      (fun acc (n : Cdfg.node) ->
+        match n.Cdfg.cls with Cdfg.Const | Cdfg.Nop -> acc | _ -> acc + 1)
+      0 g.Cdfg.nodes
+  in
+  let shadow_area =
+    { Estimate.luts = (2 * n_ops) + (6 * List.length checks);
+      ffs = n_ops + (2 * List.length checks);
+      dsps = 0; brams = 0 }
+  in
+  { base = g; checks; shadow_area }
+
+(* Taint simulation: which checks fire when [tainted_inputs] (node ids whose
+   results are attacker-controlled) flow through the DFG. *)
+let simulate (inst : instrumented) ~tainted_inputs =
+  let g = inst.base in
+  let n = Cdfg.size g in
+  let taint = Array.make n false in
+  List.iter (fun i -> if i >= 0 && i < n then taint.(i) <- true) tainted_inputs;
+  Array.iter
+    (fun (nd : Cdfg.node) ->
+      if not taint.(nd.Cdfg.id) then
+        taint.(nd.Cdfg.id) <- List.exists (fun p -> taint.(p)) nd.Cdfg.preds)
+    g.Cdfg.nodes;
+  List.filter (fun c -> taint.(c.store_node)) inst.checks
+
+(* Relative overhead of the shadow logic w.r.t. a base design area. *)
+let overhead inst (base_area : Estimate.area) =
+  if base_area.Estimate.luts = 0 then 0.0
+  else
+    float_of_int inst.shadow_area.Estimate.luts
+    /. float_of_int base_area.Estimate.luts

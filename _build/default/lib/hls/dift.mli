@@ -1,0 +1,24 @@
+(** Dynamic information-flow tracking instrumentation (TaintHLS, paper
+    ref [18]).
+
+    A shadow datapath propagates one taint bit per value in parallel with
+    the real computation: taint(out) = OR of taint(inputs).  Checks sit at
+    stores (data leaving the accelerator).  The shadow logic adds area but
+    no latency, matching the TaintHLS design point. *)
+
+type check = { store_node : int; array : string option }
+
+type instrumented = {
+  base : Cdfg.t;
+  checks : check list;
+  shadow_area : Estimate.area;
+}
+
+val instrument : Cdfg.t -> instrumented
+
+(** Which checks fire when the results of [tainted_inputs] (node ids) flow
+    through the DFG. *)
+val simulate : instrumented -> tainted_inputs:int list -> check list
+
+(** Relative LUT overhead of the shadow logic w.r.t. a base area. *)
+val overhead : instrumented -> Estimate.area -> float

@@ -1,0 +1,54 @@
+(** Memory partitioning for HLS (generalized memory partitioning in the
+    Wang–Li–Cong style, paper ref [28]).
+
+    Given the affine access functions a DFG makes to an array inside an
+    unrolled loop, choose a banking scheme and bank count that minimize
+    per-cycle bank conflicts; conflicts serialize accesses and raise the
+    initiation interval. *)
+
+type scheme = Block | Cyclic | Block_cyclic of int  (** Block size. *)
+
+val scheme_name : scheme -> string
+
+type config = { scheme : scheme; banks : int }
+
+(** Bank holding element [idx] of an array of [array_size] elements. *)
+val bank_of : config -> array_size:int -> int -> int
+
+(** Worst-case same-bank collisions (beyond the first access) over a window
+    of base iterations, for an unrolled access group. *)
+val conflicts :
+  config ->
+  array_size:int ->
+  unroll:int ->
+  window:int ->
+  Cdfg.index list ->
+  int
+
+(** Initiation interval induced by banking with [ports] ports per bank. *)
+val ii_for :
+  config -> ports:int -> array_size:int -> unroll:int -> Cdfg.index list -> int
+
+(** Exhaustive search over schemes and power-of-two bank counts; prefers
+    fewer banks on ties.  Returns the best config and its II. *)
+val optimize :
+  ?max_banks:int ->
+  ?ports:int ->
+  array_size:int ->
+  unroll:int ->
+  Cdfg.index list ->
+  config * int
+
+(** Per-array accesses of a DFG: (array, size, accesses). *)
+val array_accesses : Cdfg.t -> (string * int * Cdfg.index list) list
+
+(** Optimize every array of a DFG; returns per-array configs and the final
+    memory-induced II. *)
+val optimize_dfg :
+  ?max_banks:int ->
+  ?ports:int ->
+  ?unroll:int ->
+  Cdfg.t ->
+  (string * config * int) list * int
+
+val total_banks : (string * config * int) list -> int

@@ -1,0 +1,1 @@
+lib/ir/attr.ml: Buffer Float Fmt List Option String Types

@@ -1,0 +1,1 @@
+lib/ir/attr.mli: Format Types

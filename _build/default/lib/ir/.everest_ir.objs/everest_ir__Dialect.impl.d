@@ -1,0 +1,1 @@
+lib/ir/dialect.ml: Fmt Hashtbl Ir List Types

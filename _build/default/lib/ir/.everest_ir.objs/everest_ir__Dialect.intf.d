@@ -1,0 +1,1 @@
+lib/ir/dialect.mli: Format Ir Types

@@ -1,0 +1,1 @@
+lib/ir/dialect_arith.ml: Attr Dialect Ir List String Types

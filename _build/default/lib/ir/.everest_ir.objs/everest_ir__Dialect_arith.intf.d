@@ -1,0 +1,1 @@
+lib/ir/dialect_arith.mli: Attr Ir Types

@@ -1,0 +1,1 @@
+lib/ir/dialect_df.ml: Attr Dialect Ir Types

@@ -1,0 +1,1 @@
+lib/ir/dialect_df.mli: Attr Ir Types

@@ -1,0 +1,1 @@
+lib/ir/dialect_func.mli: Ir Types

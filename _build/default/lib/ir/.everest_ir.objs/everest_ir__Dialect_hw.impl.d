@@ -1,0 +1,1 @@
+lib/ir/dialect_hw.ml: Attr Dialect Ir Types

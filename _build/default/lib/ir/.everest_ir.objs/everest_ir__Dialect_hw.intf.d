@@ -1,0 +1,1 @@
+lib/ir/dialect_hw.mli: Attr Ir Types

@@ -1,0 +1,1 @@
+lib/ir/dialect_memref.mli: Ir Types

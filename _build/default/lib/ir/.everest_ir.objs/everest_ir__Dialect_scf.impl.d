@@ -1,0 +1,1 @@
+lib/ir/dialect_scf.ml: Dialect Ir List String Types

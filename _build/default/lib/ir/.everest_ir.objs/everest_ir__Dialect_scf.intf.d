@@ -1,0 +1,1 @@
+lib/ir/dialect_scf.mli: Attr Ir Types

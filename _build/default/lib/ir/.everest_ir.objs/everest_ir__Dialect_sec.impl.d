@@ -1,0 +1,1 @@
+lib/ir/dialect_sec.ml: Attr Dialect Ir List Option Types

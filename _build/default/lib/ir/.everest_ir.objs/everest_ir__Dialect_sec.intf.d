@@ -1,0 +1,1 @@
+lib/ir/dialect_sec.mli: Ir

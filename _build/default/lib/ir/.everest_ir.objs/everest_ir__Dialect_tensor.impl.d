@@ -1,0 +1,1 @@
+lib/ir/dialect_tensor.ml: Attr Dialect Ir List Types

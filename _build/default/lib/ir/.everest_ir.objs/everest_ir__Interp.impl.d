@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Attr Dialect_arith Float Fmt Hashtbl Ir List Option String Types

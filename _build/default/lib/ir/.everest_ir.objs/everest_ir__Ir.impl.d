@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Attr List Loc Option String Types

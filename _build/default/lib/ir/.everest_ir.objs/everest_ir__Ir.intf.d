@@ -1,0 +1,1 @@
+lib/ir/ir.mli: Attr Loc Types

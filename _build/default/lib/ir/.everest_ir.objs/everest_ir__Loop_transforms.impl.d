@@ -1,0 +1,1 @@
+lib/ir/loop_transforms.ml: Attr Dialect_arith Dialect_scf Hashtbl Ir List Option Pass String

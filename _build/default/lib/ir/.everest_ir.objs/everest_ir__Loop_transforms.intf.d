@@ -1,0 +1,1 @@
+lib/ir/loop_transforms.mli: Ir Pass

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Attr Buffer Fmt Ir List Loc String Types

@@ -1,0 +1,1 @@
+lib/ir/pass.ml: Fmt Ir List Sys Verify

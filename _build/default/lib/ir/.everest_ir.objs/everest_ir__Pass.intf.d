@@ -1,0 +1,1 @@
+lib/ir/pass.mli: Format Ir Verify

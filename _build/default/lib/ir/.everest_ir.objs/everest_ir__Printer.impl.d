@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Attr Fmt Ir List String Types

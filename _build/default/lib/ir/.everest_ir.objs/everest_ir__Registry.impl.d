@@ -1,0 +1,1 @@
+lib/ir/registry.ml: Dialect_arith Dialect_df Dialect_func Dialect_hw Dialect_memref Dialect_scf Dialect_sec Dialect_tensor

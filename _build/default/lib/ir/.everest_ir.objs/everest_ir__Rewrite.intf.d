@@ -1,0 +1,1 @@
+lib/ir/rewrite.mli: Ir

@@ -1,0 +1,1 @@
+lib/ir/transforms.ml: Attr Dialect Dialect_arith Float Int Ir List Option Pass Rewrite Set String Types

@@ -1,0 +1,1 @@
+lib/ir/transforms.mli: Pass Rewrite

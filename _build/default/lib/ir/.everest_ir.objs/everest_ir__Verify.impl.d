@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Dialect Fmt Int Ir List Set String

@@ -1,0 +1,55 @@
+(** [arith] dialect: scalar arithmetic, comparisons and casts. *)
+
+open Ir
+
+(** {2 Constants} *)
+
+val const_i : ?ty:Types.t -> ctx -> int -> op
+val const_f : ?ty:Types.t -> ctx -> float -> op
+val const_index : ctx -> int -> op
+
+(** {2 Binary operations} — result type follows the left operand. *)
+
+val binary : ctx -> string -> value -> value -> op
+val addi : ctx -> value -> value -> op
+val subi : ctx -> value -> value -> op
+val muli : ctx -> value -> value -> op
+val divi : ctx -> value -> value -> op
+val remi : ctx -> value -> value -> op
+val addf : ctx -> value -> value -> op
+val subf : ctx -> value -> value -> op
+val mulf : ctx -> value -> value -> op
+val divf : ctx -> value -> value -> op
+val maxf : ctx -> value -> value -> op
+val minf : ctx -> value -> value -> op
+val andi : ctx -> value -> value -> op
+val ori : ctx -> value -> value -> op
+val xori : ctx -> value -> value -> op
+val shli : ctx -> value -> value -> op
+val shri : ctx -> value -> value -> op
+
+(** {2 Comparisons and selection} *)
+
+type cmp_pred = Eq | Ne | Lt | Le | Gt | Ge
+
+val cmp_pred_name : cmp_pred -> string
+val cmp_pred_of_name : string -> cmp_pred option
+val cmpi : ctx -> cmp_pred -> value -> value -> op
+val cmpf : ctx -> cmp_pred -> value -> value -> op
+val select : ctx -> value -> value -> value -> op
+
+(** {2 Unary operations} *)
+
+val cast : ctx -> value -> Types.t -> op
+val negf : ctx -> value -> op
+val sqrtf : ctx -> value -> op
+val expf : ctx -> value -> op
+
+(** Value of a constant op, if it is one. *)
+val const_value : Ir.op -> Attr.t option
+
+val int_binops : string list
+val float_binops : string list
+
+(** Register the dialect's op definitions. *)
+val register : unit -> unit

@@ -1,0 +1,17 @@
+(* `func` dialect: calls and returns between module-level functions. *)
+
+open Ir
+
+let call ctx callee args ret_types =
+  op ctx "func.call" args ret_types ~attrs:[ ("callee", Attr.sym callee) ]
+
+let return ctx vs = op ctx "func.return" vs []
+
+let register () =
+  Dialect.register "func.call" ~doc:"Direct call to a module function."
+    (fun o ->
+      match Ir.attr_sym "callee" o with
+      | Some _ -> Dialect.ok
+      | None -> Dialect.err "func.call: missing @callee");
+  Dialect.register "func.return" ~traits:[ Dialect.Terminator ]
+    ~doc:"Return from a function." (Dialect.expect_results 0)

@@ -1,0 +1,7 @@
+(** [func] dialect: calls and returns between module-level functions. *)
+
+open Ir
+
+val call : ctx -> string -> value list -> Types.t list -> op
+val return : ctx -> value list -> op
+val register : unit -> unit

@@ -1,0 +1,47 @@
+(* `hw` dialect: hardware variants.
+
+   `hw.kernel` wraps a region of tensor/loop ops that the HLS flow turns into
+   an accelerator; its attributes record the estimates (area, latency,
+   initiation interval) the DSE and runtime need.  `hw.offload` is the
+   call-site form referring to an outlined kernel function. *)
+
+open Ir
+
+let kernel ?(attrs = []) ctx name inputs out_types body =
+  op ctx "hw.kernel" inputs out_types
+    ~regions:[ simple_region body ]
+    ~attrs:(("sym", Attr.sym name) :: attrs)
+
+let offload ?(attrs = []) ctx ~kernel inputs out_types =
+  op ctx "hw.offload" inputs out_types
+    ~attrs:(("kernel", Attr.sym kernel) :: attrs)
+
+let stream_read ctx s =
+  match s.vty with
+  | Types.Stream t -> op ctx "hw.stream_read" [ s ] [ t ]
+  | _ -> invalid_arg "hw.stream_read: operand must be a stream"
+
+let stream_write ctx s v = op ctx "hw.stream_write" [ s; v ] []
+
+(* Partial reconfiguration request: load bitstream [sym] into a role slot. *)
+let reconfig ctx sym =
+  op ctx "hw.reconfig" [] [ Types.Token ] ~attrs:[ ("bitstream", Attr.sym sym) ]
+
+let yield ctx vs = op ctx "hw.yield" vs []
+
+let register () =
+  Dialect.register "hw.kernel" ~doc:"Outlined hardware kernel."
+    (Dialect.all [ Dialect.expect_regions 1; Dialect.expect_attr "sym" ]);
+  Dialect.register "hw.offload" ~doc:"Invoke a hardware kernel."
+    (fun o ->
+      match Ir.attr_sym "kernel" o with
+      | Some _ -> Dialect.ok
+      | None -> Dialect.err "hw.offload: missing @kernel symbol");
+  Dialect.register "hw.stream_read" ~doc:"Pop one element from a stream."
+    (Dialect.all [ Dialect.expect_operands 1; Dialect.expect_results 1 ]);
+  Dialect.register "hw.stream_write" ~doc:"Push one element into a stream."
+    (Dialect.all [ Dialect.expect_operands 2; Dialect.expect_results 0 ]);
+  Dialect.register "hw.reconfig" ~doc:"Partial reconfiguration."
+    (Dialect.all [ Dialect.expect_attr "bitstream"; Dialect.expect_results 1 ]);
+  Dialect.register "hw.yield" ~traits:[ Dialect.Terminator ]
+    ~doc:"Kernel region terminator." Dialect.no_verify

@@ -1,0 +1,29 @@
+(** [memref] dialect: buffers with explicit memory spaces.
+
+    Memory spaces matter to EVEREST: the compiler moves data between host
+    DRAM, FPGA BRAM/HBM and remote nodes, and the HLS memory partitioner
+    rewrites single memrefs into banked ones. *)
+
+open Ir
+
+val alloc : ?space:Types.mem_space -> ctx -> Types.scalar -> int list -> op
+
+(** Allocation with dynamic extents supplied as operands. *)
+val alloc_dyn :
+  ?space:Types.mem_space -> ctx -> Types.scalar -> value list -> Types.dim list -> op
+
+val dealloc : ctx -> value -> op
+
+(** Indexed load; the result type is the element type.
+    @raise Invalid_argument when the operand is not a memref. *)
+val load : ctx -> value -> value list -> op
+
+(** [store ctx v m idxs] writes [v] into [m] at [idxs]. *)
+val store : ctx -> value -> value -> value list -> op
+
+val copy : ctx -> value -> value -> op
+
+(** Change only the memory space: an explicit data transfer. *)
+val transfer : ctx -> value -> Types.mem_space -> op
+
+val register : unit -> unit

@@ -1,0 +1,45 @@
+(** [scf] dialect: structured control flow.
+
+    [scf.for] carries lower/upper/step operands, iteration arguments and a
+    single-block body whose block arguments are [induction-var;
+    iter-args...], terminated by [scf.yield]. *)
+
+open Ir
+
+val yield : ctx -> value list -> op
+
+(** [for_ ctx lo hi step body] where [body ctx iv iter_args] returns the
+    body ops and the values to yield.  The loop's results are the final
+    iteration arguments. *)
+val for_ :
+  ?iter_args:value list ->
+  ?attrs:(string * Attr.t) list ->
+  ctx ->
+  value ->
+  value ->
+  value ->
+  (ctx -> value -> value list -> op list * value list) ->
+  op
+
+(** Two-armed conditional with optional results; each arm returns its body
+    and yielded values. *)
+val if_ :
+  ?ret_types:Types.t list ->
+  ctx ->
+  value ->
+  (ctx -> op list * value list) ->
+  (ctx -> op list * value list) ->
+  op
+
+(** Parallel counted loop: iterations are independent (the compiler emits
+    threaded variants from it). *)
+val parallel :
+  ?attrs:(string * Attr.t) list ->
+  ctx ->
+  value ->
+  value ->
+  value ->
+  (ctx -> value -> op list) ->
+  op
+
+val register : unit -> unit

@@ -1,0 +1,35 @@
+(** [sec] dialect: the data-centric security annotations of EVEREST.
+
+    Values are classified with confidentiality levels; encrypt/decrypt mark
+    boundary crossings; [sec.taint]/[sec.check] express the dynamic
+    information-flow-tracking contract the HLS flow instruments
+    (TaintHLS). *)
+
+open Ir
+
+(** Confidentiality lattice, ordered Public < Internal < Confidential <
+    Secret. *)
+type level = Public | Internal | Confidential | Secret
+
+val level_name : level -> string
+val level_of_name : string -> level option
+val level_rank : level -> int
+
+(** [level_leq a b] iff information at level [a] may flow to clearance
+    [b]. *)
+val level_leq : level -> level -> bool
+
+val classify : ctx -> value -> level -> op
+val encrypt : ?algo:string -> ctx -> value -> value -> op
+val decrypt : ?algo:string -> ctx -> value -> value -> op
+
+(** Authentication tag (32 bytes). *)
+val mac : ?algo:string -> ctx -> value -> value -> op
+
+val taint : ctx -> value -> op
+val check : ctx -> value -> op
+
+(** Attach a runtime anomaly monitor of the given kind. *)
+val monitor : ctx -> value -> string -> op
+
+val register : unit -> unit

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for the textual IR emitted by {!Printer}. *)
+
+exception Parse_error of string
+
+(** Parse a whole module.  Fresh ids above every parsed value are reserved
+    in [ctx].
+    @raise Parse_error on malformed input. *)
+val parse_module : Ir.ctx -> string -> Ir.modul
+
+(** Parse a single [func @name(...) -> (...) { ... }] definition. *)
+val parse_func_str : Ir.ctx -> string -> Ir.func

@@ -1,0 +1,18 @@
+(** Pass manager: named module-to-module transformations with optional
+    inter-pass verification and timing. *)
+
+type t = { pass_name : string; run : Ir.ctx -> Ir.modul -> Ir.modul }
+
+val make : string -> (Ir.ctx -> Ir.modul -> Ir.modul) -> t
+
+(** Per-pass execution report. *)
+type report = { name : string; seconds : float; ops_before : int; ops_after : int }
+
+val pp_report : Format.formatter -> report -> unit
+
+exception Verification_failed of string * Verify.diag list
+
+(** Run the pipeline in order.  With [verify_each], {!Verify.check_module}
+    runs after every pass and failures raise {!Verification_failed}. *)
+val run_pipeline :
+  ?verify_each:bool -> Ir.ctx -> t list -> Ir.modul -> Ir.modul * report list

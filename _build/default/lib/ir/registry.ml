@@ -1,0 +1,16 @@
+(* One-stop registration of every built-in dialect. *)
+
+let registered = ref false
+
+let register_all () =
+  if not !registered then begin
+    registered := true;
+    Dialect_arith.register ();
+    Dialect_scf.register ();
+    Dialect_memref.register ();
+    Dialect_tensor.register ();
+    Dialect_df.register ();
+    Dialect_hw.register ();
+    Dialect_sec.register ();
+    Dialect_func.register ()
+  end

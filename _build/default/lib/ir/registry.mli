@@ -1,0 +1,6 @@
+(** One-stop registration of every built-in dialect.
+
+    Call once before verifying or interpreting IR; repeated calls are
+    no-ops. *)
+
+val register_all : unit -> unit

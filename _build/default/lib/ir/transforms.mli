@@ -1,0 +1,25 @@
+(** Standard transformations: constant folding, algebraic canonicalization,
+    common-subexpression elimination and dead-code elimination. *)
+
+(** Fold binary arith ops and comparisons over constant operands. *)
+val fold_constants : Rewrite.pattern
+
+(** x+0, x*1, select on constant condition, and friends. *)
+val algebraic_identities : Rewrite.pattern
+
+(** transpose(transpose x) -> x; decrypt(encrypt(x, k), k) -> x. *)
+val involutions : Rewrite.pattern
+
+val canonicalize_patterns : Rewrite.pattern list
+
+(** The canonicalization pass (the patterns above, to fixpoint). *)
+val canonicalize : Pass.t
+
+(** Value-number pure region-free ops within each block. *)
+val cse : Pass.t
+
+(** Remove pure ops whose results are unused (iterated). *)
+val dce : Pass.t
+
+(** [canonicalize; cse; dce] — the default middle-end pipeline. *)
+val standard_pipeline : Pass.t list

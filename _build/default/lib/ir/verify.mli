@@ -1,0 +1,22 @@
+(** Structural verification of functions and modules.
+
+    Checks SSA form (each value defined once, defined before use, region
+    bodies see enclosing definitions), per-op dialect verifiers, and
+    call-graph integrity (callee symbols resolve, arities match). *)
+
+type diag = { in_func : string; op_name : string; message : string }
+
+val pp_diag : Format.formatter -> diag -> unit
+
+(** All diagnostics of one function.  [allow_unregistered] suppresses the
+    "operation not registered" diagnostic. *)
+val verify_func : ?allow_unregistered:bool -> Ir.func -> diag list
+
+(** Per-function diagnostics plus call-graph checks. *)
+val verify_module : ?allow_unregistered:bool -> Ir.modul -> diag list
+
+(** [Ok ()] when the module is clean. *)
+val check_module :
+  ?allow_unregistered:bool -> Ir.modul -> (unit, diag list) result
+
+val errors_to_string : diag list -> string

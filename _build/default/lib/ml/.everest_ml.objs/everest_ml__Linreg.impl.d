@@ -1,0 +1,1 @@
+lib/ml/linreg.ml: Array Linalg

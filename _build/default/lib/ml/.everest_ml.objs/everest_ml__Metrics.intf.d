@@ -1,0 +1,1 @@
+lib/ml/metrics.mli:

@@ -1,0 +1,1 @@
+lib/ml/mlp.ml: Array Dataset Float Fun Linalg List Rng

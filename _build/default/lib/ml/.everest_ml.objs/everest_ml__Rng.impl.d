@@ -1,0 +1,1 @@
+lib/ml/rng.ml: Array Float Int64

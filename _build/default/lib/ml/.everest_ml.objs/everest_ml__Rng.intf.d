@@ -1,0 +1,1 @@
+lib/ml/rng.mli:

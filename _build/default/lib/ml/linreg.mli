@@ -1,0 +1,10 @@
+(** Ridge-regularized linear regression via the normal equations — the
+    simple learner used as a baseline against the MLP. *)
+
+type t = { weights : float array; bias : float }
+
+(** @raise Invalid_argument on empty input.
+    @raise Failure on (unregularized) singular systems. *)
+val fit : ?lambda:float -> float array array -> float array -> t
+
+val predict : t -> float array -> float

@@ -1,0 +1,29 @@
+(** Error metrics for the forecasting use cases. *)
+
+(** All pairwise metrics
+    @raise Invalid_argument on empty or mismatched arrays. *)
+
+val mse : float array -> float array -> float
+val rmse : float array -> float array -> float
+val mae : float array -> float array -> float
+val mean : float array -> float
+val r2 : float array -> float array -> float
+
+(** Asymmetric energy-market imbalance cost: over-forecasting (buying
+    balancing energy) is priced higher than under-forecasting. *)
+val imbalance_cost :
+  ?under_price:float -> ?over_price:float -> float array -> float array -> float
+
+(** Binary-event skill on threshold exceedances. *)
+type confusion = { tp : int; fp : int; fn : int; tn : int }
+
+val exceedance_confusion : threshold:float -> float array -> float array -> confusion
+val precision : confusion -> float
+val recall : confusion -> float
+val f1 : confusion -> float
+
+(** Linear-interpolated quantile, [q] in [0, 1].
+    @raise Invalid_argument on empty arrays. *)
+val percentile : float array -> float -> float
+
+val stddev : float array -> float

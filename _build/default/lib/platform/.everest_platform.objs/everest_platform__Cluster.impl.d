@@ -1,0 +1,1 @@
+lib/platform/cluster.ml: Desim Fmt List Node Printf Spec String

@@ -1,0 +1,1 @@
+lib/platform/cluster.mli: Desim Format Node Spec

@@ -1,0 +1,1 @@
+lib/platform/desim.ml: Array Queue

@@ -1,0 +1,1 @@
+lib/platform/node.ml: Desim Everest_hls Fmt List Printf Spec String

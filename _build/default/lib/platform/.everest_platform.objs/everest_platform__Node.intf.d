@@ -1,0 +1,1 @@
+lib/platform/node.mli: Desim Everest_hls Format Spec

@@ -1,0 +1,1 @@
+lib/platform/spec.ml: Everest_hls Float

@@ -1,0 +1,1 @@
+lib/platform/spec.mli: Everest_hls

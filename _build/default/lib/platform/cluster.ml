@@ -1,0 +1,101 @@
+(* A distributed EVEREST system: nodes in edge/inner-edge/cloud tiers joined
+   by heterogeneous links (Fig. 3), with data transfer and placement.
+
+   Link selection: an explicit entry in the topology wins; otherwise the
+   default tier-to-tier links apply (endpoint<->inner-edge over 10GbE,
+   inner-edge<->cloud over WAN, intra-cloud over 100GbE). *)
+
+type t = {
+  sim : Desim.t;
+  nodes : Node.t list;
+  mutable links : (string * string * Spec.link) list;
+  mutable bytes_moved : int;
+  mutable transfers : int;
+}
+
+let create ?(links = []) nodes =
+  { sim = Desim.create (); nodes; links; bytes_moved = 0; transfers = 0 }
+
+let find_node c name =
+  match List.find_opt (fun (n : Node.t) -> String.equal n.Node.name name) c.nodes with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "cluster: unknown node %S" name)
+
+let add_link c a b link = c.links <- (a, b, link) :: c.links
+
+let default_link (a : Node.t) (b : Node.t) =
+  match (a.Node.tier, b.Node.tier) with
+  | Spec.Cloud, Spec.Cloud -> Spec.eth100_tcp
+  | Spec.Endpoint, Spec.Inner_edge | Spec.Inner_edge, Spec.Endpoint ->
+      Spec.eth10_udp
+  | Spec.Endpoint, Spec.Endpoint -> Spec.eth10_udp
+  | Spec.Inner_edge, Spec.Inner_edge -> Spec.eth10_tcp
+  | Spec.Cloud, _ | _, Spec.Cloud -> Spec.wan
+
+let link_between c (a : Node.t) (b : Node.t) =
+  let pair (x, y, _) =
+    (String.equal x a.Node.name && String.equal y b.Node.name)
+    || (String.equal x b.Node.name && String.equal y a.Node.name)
+  in
+  match List.find_opt pair c.links with
+  | Some (_, _, l) -> l
+  | None -> default_link a b
+
+(* Move [bytes] from [src] to [dst]; zero-cost when same node. *)
+let transfer c ~(src : Node.t) ~(dst : Node.t) ~bytes k =
+  if src == dst || String.equal src.Node.name dst.Node.name then k ()
+  else begin
+    let l = link_between c src dst in
+    let dt = Spec.transfer_time l ~bytes in
+    c.bytes_moved <- c.bytes_moved + bytes;
+    c.transfers <- c.transfers + 1;
+    Desim.schedule c.sim dt k
+  end
+
+let transfer_time c ~(src : Node.t) ~(dst : Node.t) ~bytes =
+  if src == dst then 0.0
+  else Spec.transfer_time (link_between c src dst) ~bytes
+
+let run ?until c = Desim.run ?until c.sim
+let elapsed c = Desim.now c.sim
+
+let total_energy c =
+  let e = elapsed c in
+  List.fold_left (fun acc n -> acc +. Node.total_energy n ~elapsed:e) 0.0 c.nodes
+
+(* ---- canonical EVEREST systems (Fig. 4) ----------------------------------------- *)
+
+(* POWER9 node with [n] bus-attached (OpenCAPI) FPGAs. *)
+let power9_node ?(n_fpgas = 2) name =
+  Node.create ~name ~tier:Spec.Cloud
+    ~fpgas:(List.init n_fpgas (fun _ -> Spec.bus_fpga))
+    Spec.power9
+
+(* A rack of disaggregated network-attached cloudFPGAs: each is a standalone
+   node whose "CPU" is a negligible management core. *)
+let cloudfpga_node name =
+  Node.create ~name ~tier:Spec.Cloud ~fpgas:[ Spec.cloud_fpga ]
+    { Spec.riscv_endpoint with Spec.cpu_name = "cFDK-shell" }
+
+let edge_node ?(with_fpga = true) name =
+  Node.create ~name ~tier:Spec.Inner_edge
+    ~fpgas:(if with_fpga then [ Spec.edge_fpga ] else [])
+    Spec.arm_edge
+
+let endpoint_node name =
+  Node.create ~name ~tier:Spec.Endpoint Spec.riscv_endpoint
+
+(* The full EVEREST demonstrator: one POWER9 + bus FPGAs, a cloudFPGA rack,
+   edge nodes and endpoints. *)
+let everest_demonstrator ?(cloud_fpgas = 4) ?(edges = 2) ?(endpoints = 4) () =
+  let p9 = power9_node "p9" in
+  let cfs = List.init cloud_fpgas (fun i -> cloudfpga_node (Printf.sprintf "cf%d" i)) in
+  let eds = List.init edges (fun i -> edge_node (Printf.sprintf "edge%d" i)) in
+  let eps = List.init endpoints (fun i -> endpoint_node (Printf.sprintf "ep%d" i)) in
+  let c = create ((p9 :: cfs) @ eds @ eps) in
+  (* cloudFPGAs sit on the DC network close to the POWER9 host *)
+  List.iter (fun (cf : Node.t) -> add_link c "p9" cf.Node.name Spec.eth100_tcp) cfs;
+  c
+
+let pp ppf c =
+  Fmt.pf ppf "cluster: %a" Fmt.(list ~sep:(any "; ") Node.pp) c.nodes

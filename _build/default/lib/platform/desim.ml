@@ -1,0 +1,150 @@
+(* Discrete-event simulation engine.
+
+   Event-scheduling style: callbacks are queued at absolute times in a
+   binary min-heap; FIFO resources model contention (CPU cores, FPGA role
+   slots, link capacity).  All platform and runtime behaviour in EVEREST's
+   simulated target system runs on top of this engine. *)
+
+type event = { at : float; seq : int; run : unit -> unit }
+
+type t = {
+  mutable now : float;
+  mutable heap : event array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable executed : int;
+}
+
+let create () =
+  { now = 0.0; heap = Array.make 256 { at = 0.; seq = 0; run = ignore };
+    size = 0; next_seq = 0; executed = 0 }
+
+let now sim = sim.now
+
+let lt a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+let push sim e =
+  if sim.size = Array.length sim.heap then begin
+    let bigger = Array.make (2 * sim.size) e in
+    Array.blit sim.heap 0 bigger 0 sim.size;
+    sim.heap <- bigger
+  end;
+  sim.heap.(sim.size) <- e;
+  sim.size <- sim.size + 1;
+  (* sift up *)
+  let i = ref (sim.size - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    lt sim.heap.(!i) sim.heap.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = sim.heap.(p) in
+    sim.heap.(p) <- sim.heap.(!i);
+    sim.heap.(!i) <- tmp;
+    i := p
+  done
+
+let pop sim =
+  if sim.size = 0 then None
+  else begin
+    let top = sim.heap.(0) in
+    sim.size <- sim.size - 1;
+    sim.heap.(0) <- sim.heap.(sim.size);
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < sim.size && lt sim.heap.(l) sim.heap.(!smallest) then smallest := l;
+      if r < sim.size && lt sim.heap.(r) sim.heap.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = sim.heap.(!smallest) in
+        sim.heap.(!smallest) <- sim.heap.(!i);
+        sim.heap.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    Some top
+  end
+
+let schedule sim delay f =
+  if delay < 0.0 then invalid_arg "schedule: negative delay";
+  push sim { at = sim.now +. delay; seq = sim.next_seq; run = f };
+  sim.next_seq <- sim.next_seq + 1
+
+let at sim time f =
+  if time < sim.now then invalid_arg "at: time in the past";
+  push sim { at = time; seq = sim.next_seq; run = f };
+  sim.next_seq <- sim.next_seq + 1
+
+let run ?(until = infinity) sim =
+  let continue = ref true in
+  while !continue do
+    match pop sim with
+    | None -> continue := false
+    | Some e ->
+        if e.at > until then begin
+          (* push back and stop *)
+          push sim e;
+          sim.now <- until;
+          continue := false
+        end
+        else begin
+          sim.now <- e.at;
+          sim.executed <- sim.executed + 1;
+          e.run ()
+        end
+  done
+
+let executed sim = sim.executed
+
+(* ---- FIFO resource ------------------------------------------------------------- *)
+
+type resource = {
+  rname : string;
+  capacity : int;
+  mutable in_use : int;
+  waiting : (unit -> unit) Queue.t;
+  mutable peak : int;
+  mutable total_wait_starts : int;
+}
+
+let resource name capacity =
+  if capacity <= 0 then invalid_arg "resource: capacity must be positive";
+  { rname = name; capacity; in_use = 0; waiting = Queue.create (); peak = 0;
+    total_wait_starts = 0 }
+
+(* [acquire sim r k] runs [k] as soon as a unit of [r] is free. *)
+let acquire _sim r k =
+  if r.in_use < r.capacity then begin
+    r.in_use <- r.in_use + 1;
+    r.peak <- max r.peak r.in_use;
+    k ()
+  end
+  else begin
+    r.total_wait_starts <- r.total_wait_starts + 1;
+    Queue.push k r.waiting
+  end
+
+let release _sim r =
+  if r.in_use <= 0 then invalid_arg (r.rname ^ ": release without acquire");
+  if Queue.is_empty r.waiting then r.in_use <- r.in_use - 1
+  else
+    let k = Queue.pop r.waiting in
+    (* hand the unit directly to the next waiter *)
+    k ()
+
+(* Run [work] while holding one unit: acquire, execute for [duration]
+   simulated seconds, then release and continue with [k]. *)
+let with_resource sim r ~duration k =
+  acquire sim r (fun () ->
+      schedule sim duration (fun () ->
+          release sim r;
+          k ()))
+
+let queue_length r = Queue.length r.waiting
+let utilization_now r = float_of_int r.in_use /. float_of_int r.capacity

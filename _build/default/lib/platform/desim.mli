@@ -1,0 +1,57 @@
+(** Discrete-event simulation engine.
+
+    Event-scheduling style: callbacks queue at absolute times in a binary
+    min-heap; FIFO resources model contention (CPU cores, FPGA role slots).
+    All platform and runtime behaviour in EVEREST's simulated target system
+    runs on this engine. *)
+
+type t
+
+val create : unit -> t
+
+(** Current simulated time in seconds. *)
+val now : t -> float
+
+(** [schedule sim delay f] runs [f] at [now + delay].
+    @raise Invalid_argument on negative delays. *)
+val schedule : t -> float -> (unit -> unit) -> unit
+
+(** [at sim time f] runs [f] at the absolute [time].
+    @raise Invalid_argument for times in the past. *)
+val at : t -> float -> (unit -> unit) -> unit
+
+(** Run until the queue drains, or until the horizon [until]; ties execute
+    in insertion order. *)
+val run : ?until:float -> t -> unit
+
+(** Number of events executed so far. *)
+val executed : t -> int
+
+(** {2 FIFO resources} *)
+
+type resource = {
+  rname : string;
+  capacity : int;
+  mutable in_use : int;
+  waiting : (unit -> unit) Queue.t;
+  mutable peak : int;
+  mutable total_wait_starts : int;
+}
+
+(** [resource name capacity] models [capacity] interchangeable units. *)
+val resource : string -> int -> resource
+
+(** [acquire sim r k] runs [k] as soon as a unit is free (immediately when
+    available, else FIFO). *)
+val acquire : t -> resource -> (unit -> unit) -> unit
+
+(** Release one unit; hands it directly to the next waiter if any.
+    @raise Invalid_argument when nothing is held. *)
+val release : t -> resource -> unit
+
+(** Hold one unit for [duration] simulated seconds, then continue with the
+    callback. *)
+val with_resource : t -> resource -> duration:float -> (unit -> unit) -> unit
+
+val queue_length : resource -> int
+val utilization_now : resource -> float

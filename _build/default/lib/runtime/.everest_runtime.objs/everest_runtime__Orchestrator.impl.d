@@ -1,0 +1,1 @@
+lib/runtime/orchestrator.ml: Cluster Desim Everest_autotune Everest_hls Everest_platform Goal Knowledge List Node Option Protection Selector String Tuner Vfpga Vm

@@ -1,0 +1,1 @@
+lib/runtime/orchestrator.mli: Cluster Everest_autotune Everest_hls Everest_platform Goal Knowledge Node Protection Tuner Vfpga Vm

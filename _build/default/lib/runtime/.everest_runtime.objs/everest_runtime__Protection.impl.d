@@ -1,0 +1,1 @@
+lib/runtime/protection.ml: Cipher Everest_security List Monitor String

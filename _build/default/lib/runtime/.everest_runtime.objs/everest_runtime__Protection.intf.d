@@ -1,0 +1,1 @@
+lib/runtime/protection.mli: Everest_security Monitor

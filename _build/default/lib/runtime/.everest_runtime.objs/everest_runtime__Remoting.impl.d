@@ -1,0 +1,1 @@
+lib/runtime/remoting.ml: Everest_platform

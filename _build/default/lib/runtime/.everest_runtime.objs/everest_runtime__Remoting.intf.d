@@ -1,0 +1,1 @@
+lib/runtime/remoting.mli: Everest_platform

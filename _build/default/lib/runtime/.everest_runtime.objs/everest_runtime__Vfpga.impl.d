@@ -1,0 +1,1 @@
+lib/runtime/vfpga.ml: Everest_hls Everest_platform List Node Printf Spec Vm

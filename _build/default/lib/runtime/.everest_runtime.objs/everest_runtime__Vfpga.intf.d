@@ -1,0 +1,1 @@
+lib/runtime/vfpga.mli: Desim Everest_hls Everest_platform Node Vm

@@ -1,0 +1,1 @@
+lib/runtime/vm.ml: Cluster Everest_platform List Node Option Printf Spec

@@ -1,0 +1,1 @@
+lib/runtime/vm.mli: Cluster Desim Everest_platform Node

@@ -1,0 +1,157 @@
+(* The adaptive orchestrator: closes the loop between the mARGOt tuner, the
+   virtualized execution layers and the simulated platform (Fig. 2, item 2:
+   "dynamic hardware-software adaptation strategy").
+
+   A kernel is deployed with its compile-time variants; requests arrive in
+   closed loop; for every request the policy picks the variant, the runtime
+   executes it (guest compute for software variants, vFPGA launches for
+   hardware ones) and the measured latency is fed back to the tuner. *)
+
+open Everest_platform
+open Everest_autotune
+
+type variant_impl =
+  | Sw of { flops : float; bytes : float; threads : int }
+  | Hw of {
+      bitstream : string;
+      estimate : Everest_hls.Estimate.t;
+      in_bytes : int;
+      out_bytes : int;
+    }
+
+type deployed_kernel = {
+  kname : string;
+  impls : (string * variant_impl) list;
+  tuner : Tuner.t;
+}
+
+type t = {
+  cluster : Cluster.t;
+  host : Node.t;
+  hyper : Vm.hypervisor;
+  vm : Vm.t;
+  vfpga_mgr : Vfpga.t;
+  vctx : Vfpga.vctx option;
+  protection : Protection.t;
+  mutable kernels : deployed_kernel list;
+}
+
+let create ?(vcpus = 4) (cluster : Cluster.t) ~host_name =
+  let host = Cluster.find_node cluster host_name in
+  let hyper = Vm.hypervisor host in
+  let vm = Vm.spawn hyper ~name:"everest-app" ~vcpus in
+  let vfpga_mgr = Vfpga.create () in
+  let vctx =
+    if Node.has_fpga host then Some (Vfpga.allocate vfpga_mgr ~vm) else None
+  in
+  { cluster; host; hyper; vm; vfpga_mgr; vctx;
+    protection = Protection.create (); kernels = [] }
+
+let deploy orch ~kname ~impls ~(knowledge : Knowledge.t) ~(goal : Goal.t) =
+  (* deployment-time configuration: preload every hardware variant's
+     bitstream so first invocations do not pay reconfiguration *)
+  (match orch.vctx with
+  | Some ctx ->
+      List.iter
+        (fun (_, impl) ->
+          match impl with
+          | Hw { bitstream; _ } -> Node.preload ctx.Vfpga.dev ~bitstream
+          | Sw _ -> ())
+        impls
+  | None -> ());
+  let k = { kname; impls; tuner = Tuner.create knowledge goal } in
+  orch.kernels <- k :: orch.kernels;
+  k
+
+let find_kernel orch name =
+  List.find (fun k -> String.equal k.kname name) orch.kernels
+
+(* Execute one variant; [k] receives the measured latency (simulated). *)
+let execute orch (dk : deployed_kernel) ~variant
+    ?(slowdown = fun _ -> 1.0) k =
+  let sim = orch.cluster.Cluster.sim in
+  let t0 = Desim.now sim in
+  let impl =
+    match List.assoc_opt variant dk.impls with
+    | Some i -> i
+    | None -> invalid_arg (dk.kname ^ ": unknown variant " ^ variant)
+  in
+  let factor = slowdown variant in
+  match impl with
+  | Sw { flops; bytes; threads } ->
+      Vm.run_guest sim orch.vm ~flops:(flops *. factor) ~bytes ~threads
+        (fun () -> k (Desim.now sim -. t0))
+  | Hw { bitstream; estimate; in_bytes; out_bytes } -> (
+      match orch.vctx with
+      | None ->
+          (* no FPGA: emulate on CPU, very slow *)
+          Vm.run_guest sim orch.vm
+            ~flops:(float_of_int estimate.Everest_hls.Estimate.cycles *. 50.0 *. factor)
+            ~bytes:(float_of_int (in_bytes + out_bytes))
+            ~threads:1
+            (fun () -> k (Desim.now sim -. t0))
+      | Some ctx ->
+          let estimate =
+            { estimate with
+              Everest_hls.Estimate.cycles =
+                int_of_float (float_of_int estimate.Everest_hls.Estimate.cycles *. factor) }
+          in
+          Vfpga.launch orch.vfpga_mgr sim ~vm:orch.vm ~ctx ~bitstream ~estimate
+            ~in_bytes ~out_bytes (fun () -> k (Desim.now sim -. t0)))
+
+type policy = Adaptive | Fixed of string | Random of int  (* seed *)
+
+type request_log = { req : int; variant : string; latency_s : float }
+
+(* Serve [n] closed-loop requests under [policy].  [slowdown req variant]
+   injects time-varying contention (the workload/resource shifts the runtime
+   must react to).  [features req] supplies per-request data features. *)
+let serve orch ~kernel ~n ~policy
+    ?(slowdown = fun _req _variant -> 1.0)
+    ?(features = fun _req -> []) () =
+  let dk = find_kernel orch kernel in
+  let log = ref [] in
+  let rng = ref 123 in
+  let pick_random seed_variants =
+    rng := ((!rng * 48271) mod 0x7FFFFFFF);
+    List.nth seed_variants (!rng mod List.length seed_variants)
+  in
+  let rec loop req =
+    if req >= n then ()
+    else
+      let variant =
+        match policy with
+        | Fixed v -> v
+        | Random _ -> pick_random (List.map fst dk.impls)
+        | Adaptive -> (
+            match Tuner.select dk.tuner ~features:(features req) with
+            | Some d -> d.Selector.point.Knowledge.variant
+            | None -> fst (List.hd dk.impls))
+      in
+      execute orch dk ~variant ~slowdown:(slowdown req) (fun latency ->
+          log := { req; variant; latency_s = latency } :: !log;
+          (match policy with
+          | Adaptive ->
+              Tuner.observe dk.tuner ~variant ~features:(features req)
+                ~measured:[ ("time_s", latency) ]
+          | _ -> ());
+          loop (req + 1))
+  in
+  loop 0;
+  Cluster.run orch.cluster;
+  List.rev !log
+
+let total_latency log =
+  List.fold_left (fun acc r -> acc +. r.latency_s) 0.0 log
+
+let mean_latency log =
+  match log with
+  | [] -> 0.0
+  | _ -> total_latency log /. float_of_int (List.length log)
+
+let variant_histogram log =
+  List.fold_left
+    (fun acc r ->
+      let c = Option.value ~default:0 (List.assoc_opt r.variant acc) in
+      (r.variant, c + 1) :: List.remove_assoc r.variant acc)
+    [] log

@@ -1,0 +1,84 @@
+(** The adaptive orchestrator: closes the loop between the mARGOt tuner,
+    the virtualized execution layers and the simulated platform (Fig. 2,
+    item 2: "dynamic hardware-software adaptation strategy").
+
+    A kernel is deployed with its compile-time variants; requests arrive in
+    closed loop; per request the policy picks the variant, the runtime
+    executes it (guest compute for software, vFPGA launches for hardware)
+    and the measured latency feeds back into the tuner. *)
+
+open Everest_platform
+open Everest_autotune
+
+type variant_impl =
+  | Sw of { flops : float; bytes : float; threads : int }
+  | Hw of {
+      bitstream : string;
+      estimate : Everest_hls.Estimate.t;
+      in_bytes : int;
+      out_bytes : int;
+    }
+
+type deployed_kernel = {
+  kname : string;
+  impls : (string * variant_impl) list;
+  tuner : Tuner.t;
+}
+
+type t = {
+  cluster : Cluster.t;
+  host : Node.t;
+  hyper : Vm.hypervisor;
+  vm : Vm.t;
+  vfpga_mgr : Vfpga.t;
+  vctx : Vfpga.vctx option;
+  protection : Protection.t;
+  mutable kernels : deployed_kernel list;
+}
+
+(** Stand up the runtime on a cluster node: spawns the application VM and,
+    when the host has FPGAs, a vFPGA context. *)
+val create : ?vcpus:int -> Cluster.t -> host_name:string -> t
+
+(** Deploy a kernel with its variants; hardware bitstreams are preloaded
+    (deployment-time configuration). *)
+val deploy :
+  t ->
+  kname:string ->
+  impls:(string * variant_impl) list ->
+  knowledge:Knowledge.t ->
+  goal:Goal.t ->
+  deployed_kernel
+
+val find_kernel : t -> string -> deployed_kernel
+
+(** Execute one variant; the continuation receives the measured simulated
+    latency.  [slowdown] injects contention per variant. *)
+val execute :
+  t ->
+  deployed_kernel ->
+  variant:string ->
+  ?slowdown:(string -> float) ->
+  (float -> unit) ->
+  unit
+
+type policy = Adaptive | Fixed of string | Random of int
+
+type request_log = { req : int; variant : string; latency_s : float }
+
+(** Serve [n] closed-loop requests.  [slowdown req variant] injects
+    time-varying contention; [features req] supplies per-request data
+    features to the tuner. *)
+val serve :
+  t ->
+  kernel:string ->
+  n:int ->
+  policy:policy ->
+  ?slowdown:(int -> string -> float) ->
+  ?features:(int -> (string * float) list) ->
+  unit ->
+  request_log list
+
+val total_latency : request_log list -> float
+val mean_latency : request_log list -> float
+val variant_histogram : request_log list -> (string * int) list

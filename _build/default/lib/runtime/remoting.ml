@@ -1,0 +1,35 @@
+(* API remoting: guests reach accelerators through a paravirtual transport
+   instead of direct device assignment ("API remoting techniques will
+   improve data exchanges", paper §IV).
+
+   Each remote call pays a fixed guest-host crossing cost; batching several
+   calls amortizes it.  The model exposes the trade-off the runtime
+   optimizes when it groups kernel invocations. *)
+
+type transport = {
+  per_call_s : float;  (* vmexit + marshalling *)
+  per_kb_s : float;  (* shared-memory copy cost *)
+  batch_limit : int;
+}
+
+let virtio_default = { per_call_s = 12e-6; per_kb_s = 0.08e-6; batch_limit = 64 }
+
+let passthrough = { per_call_s = 1.5e-6; per_kb_s = 0.0; batch_limit = 1 }
+
+(* Cost of issuing [calls] invocations carrying [bytes_per_call] each,
+   batching up to [t.batch_limit] per crossing. *)
+let cost t ~calls ~bytes_per_call =
+  let crossings = (calls + t.batch_limit - 1) / t.batch_limit in
+  (float_of_int crossings *. t.per_call_s)
+  +. (float_of_int calls *. float_of_int bytes_per_call /. 1024.0 *. t.per_kb_s)
+
+let amortization t ~calls ~bytes_per_call =
+  let unbatched =
+    float_of_int calls *. (t.per_call_s +. (float_of_int bytes_per_call /. 1024.0 *. t.per_kb_s))
+  in
+  let batched = cost t ~calls ~bytes_per_call in
+  if batched = 0.0 then 1.0 else unbatched /. batched
+
+(* Issue a remoted accelerator invocation inside the simulation. *)
+let invoke sim t ~calls ~bytes_per_call k =
+  Everest_platform.Desim.schedule sim (cost t ~calls ~bytes_per_call) k

@@ -1,0 +1,31 @@
+(** API remoting: guests reach accelerators through a paravirtual transport
+    instead of direct device assignment ("API remoting techniques will
+    improve data exchanges", paper §IV).
+
+    Each remote call pays a fixed guest-host crossing cost; batching
+    amortizes it. *)
+
+type transport = {
+  per_call_s : float;  (** vmexit + marshalling. *)
+  per_kb_s : float;  (** Shared-memory copy cost. *)
+  batch_limit : int;
+}
+
+val virtio_default : transport
+val passthrough : transport
+
+(** Cost of [calls] invocations carrying [bytes_per_call] each, batched up
+    to [batch_limit] per crossing. *)
+val cost : transport -> calls:int -> bytes_per_call:int -> float
+
+(** Unbatched-to-batched cost ratio. *)
+val amortization : transport -> calls:int -> bytes_per_call:int -> float
+
+(** Issue a remoted invocation inside the simulation. *)
+val invoke :
+  Everest_platform.Desim.t ->
+  transport ->
+  calls:int ->
+  bytes_per_call:int ->
+  (unit -> unit) ->
+  unit

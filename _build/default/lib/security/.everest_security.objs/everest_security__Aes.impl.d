@@ -1,0 +1,1 @@
+lib/security/aes.ml: Array Bytes Char List Printf String

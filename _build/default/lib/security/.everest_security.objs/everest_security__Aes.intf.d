@@ -1,0 +1,1 @@
+lib/security/aes.mli: Bytes

@@ -1,0 +1,1 @@
+lib/security/cipher.ml: Aes Bytes Char Hmac Sha256

@@ -1,0 +1,1 @@
+lib/security/cipher.mli: Bytes

@@ -1,0 +1,1 @@
+lib/security/hmac.ml: Aes Bytes Char Sha256

@@ -1,0 +1,1 @@
+lib/security/ift.ml: Dialect_sec Everest_ir Fmt Hashtbl Ir List Option

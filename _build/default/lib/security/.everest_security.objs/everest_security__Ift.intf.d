@@ -1,0 +1,1 @@
+lib/security/ift.mli: Everest_ir Format

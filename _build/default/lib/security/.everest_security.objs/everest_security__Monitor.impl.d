@@ -1,0 +1,1 @@
+lib/security/monitor.ml: Float Fmt Hashtbl Option Printf

@@ -1,0 +1,1 @@
+lib/security/sha256.ml: Aes Array Bytes Char

@@ -1,0 +1,51 @@
+(* Authenticated encryption: AES-128-CTR with encrypt-then-HMAC.
+
+   This is the software reference of the "library of cryptographic functions
+   to ensure data integrity, confidentiality and authentication" (paper
+   §III-B); hardware variants of the same routines are modeled by the HLS
+   estimator. *)
+
+type keys = { enc : Aes.key; mac : Bytes.t }
+
+let derive_keys (master : string) : keys =
+  let h = Sha256.digest_string master in
+  let enc_bytes = Bytes.sub h 0 16 in
+  let mac_key = Sha256.digest_bytes (Bytes.cat h (Bytes.of_string "mac")) in
+  { enc = Aes.key_of_bytes enc_bytes; mac = mac_key }
+
+type sealed = { nonce : Bytes.t; ct : Bytes.t; tag : Bytes.t }
+
+let nonce_counter = ref 0
+
+let fresh_nonce () =
+  incr nonce_counter;
+  let b = Bytes.make 8 '\000' in
+  let c = ref !nonce_counter in
+  for i = 7 downto 0 do
+    Bytes.set b i (Char.chr (!c land 0xff));
+    c := !c lsr 8
+  done;
+  b
+
+let seal (k : keys) (plaintext : Bytes.t) : sealed =
+  let nonce = fresh_nonce () in
+  let ct = Aes.ctr_transform k.enc ~nonce plaintext in
+  let tag = Hmac.hmac_sha256 ~key:k.mac (Bytes.cat nonce ct) in
+  { nonce; ct; tag }
+
+type open_error = Bad_tag
+
+let open_ (k : keys) (s : sealed) : (Bytes.t, open_error) result =
+  if Hmac.verify ~key:k.mac ~msg:(Bytes.cat s.nonce s.ct) ~tag:s.tag then
+    Ok (Aes.ctr_transform k.enc ~nonce:s.nonce s.ct)
+  else Error Bad_tag
+
+(* Cost model used by the compiler/runtime when deciding whether to encrypt
+   on a boundary: cycles per byte for SW and for the HLS-accelerated
+   pipeline (AES rounds unrolled, II=1 on 16-byte blocks). *)
+let sw_cycles_per_byte = 22.0
+let hw_cycles_per_byte = 0.75
+
+let encryption_time_s ~bytes ~accelerated ~clock_hz =
+  let cpb = if accelerated then hw_cycles_per_byte else sw_cycles_per_byte in
+  float_of_int bytes *. cpb /. clock_hz

@@ -1,0 +1,26 @@
+(** Authenticated encryption: AES-128-CTR with encrypt-then-HMAC.
+
+    The software reference of the cryptographic routine library (§III-B);
+    hardware variants of the same routines are modeled by the HLS
+    estimator. *)
+
+type keys
+
+(** Derive encryption and MAC keys from a master secret. *)
+val derive_keys : string -> keys
+
+type sealed = { nonce : Bytes.t; ct : Bytes.t; tag : Bytes.t }
+
+(** Encrypt-then-MAC with a fresh nonce. *)
+val seal : keys -> Bytes.t -> sealed
+
+type open_error = Bad_tag
+
+(** Verify then decrypt. *)
+val open_ : keys -> sealed -> (Bytes.t, open_error) result
+
+(** {2 Cost model} — cycles per byte used by compiler/runtime decisions. *)
+
+val sw_cycles_per_byte : float
+val hw_cycles_per_byte : float
+val encryption_time_s : bytes:int -> accelerated:bool -> clock_hz:float -> float

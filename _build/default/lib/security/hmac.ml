@@ -1,0 +1,31 @@
+(* HMAC-SHA256 (RFC 2104), the authentication primitive of the sec.mac op. *)
+
+let block_size = 64
+
+let hmac_sha256 ~(key : Bytes.t) (msg : Bytes.t) : Bytes.t =
+  let key =
+    if Bytes.length key > block_size then Sha256.digest_bytes key else key
+  in
+  let k0 = Bytes.make block_size '\000' in
+  Bytes.blit key 0 k0 0 (Bytes.length key);
+  let xor_pad pad =
+    Bytes.init block_size (fun i ->
+        Char.chr (Char.code (Bytes.get k0 i) lxor pad))
+  in
+  let ipad = xor_pad 0x36 and opad = xor_pad 0x5c in
+  let inner = Sha256.digest_bytes (Bytes.cat ipad msg) in
+  Sha256.digest_bytes (Bytes.cat opad inner)
+
+let hmac_hex ~key msg =
+  Aes.to_hex (hmac_sha256 ~key:(Bytes.of_string key) (Bytes.of_string msg))
+
+let verify ~key ~msg ~(tag : Bytes.t) =
+  let expect = hmac_sha256 ~key msg in
+  (* constant-time comparison *)
+  Bytes.length tag = Bytes.length expect
+  &&
+  let acc = ref 0 in
+  Bytes.iteri
+    (fun i c -> acc := !acc lor (Char.code c lxor Char.code (Bytes.get expect i)))
+    tag;
+  !acc = 0

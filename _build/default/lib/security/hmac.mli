@@ -1,0 +1,9 @@
+(** HMAC-SHA256 (RFC 2104), the authentication primitive behind the
+    [sec.mac] operation. *)
+
+val block_size : int
+val hmac_sha256 : key:Bytes.t -> Bytes.t -> Bytes.t
+val hmac_hex : key:string -> string -> string
+
+(** Constant-time tag verification. *)
+val verify : key:Bytes.t -> msg:Bytes.t -> tag:Bytes.t -> bool

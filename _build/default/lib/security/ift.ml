@@ -1,0 +1,120 @@
+(* Static information-flow tracking over the IR.
+
+   Values carry confidentiality levels (the sec dialect lattice); this
+   analysis propagates levels through a function body and reports flows
+   where data of a higher level reaches a sink whose clearance is lower
+   (df.sink, memref.store to a lower-level buffer, or an explicit
+   sec.check).  [sec.encrypt] declassifies: ciphertext is Public. *)
+
+open Everest_ir
+
+type level = Dialect_sec.level
+
+type flow_violation = {
+  op_name : string;
+  source_level : level;
+  sink_level : level;
+  detail : string;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%s: %s data reaches %s sink (%s)" v.op_name
+    (Dialect_sec.level_name v.source_level)
+    (Dialect_sec.level_name v.sink_level)
+    v.detail
+
+let join (a : level) (b : level) = if Dialect_sec.level_leq a b then b else a
+
+(* Level of a value: max over sources flowing into it. *)
+let analyze_func ?(arg_levels = []) (f : Ir.func) : flow_violation list =
+  let levels : (int, level) Hashtbl.t = Hashtbl.create 64 in
+  let level_of (v : Ir.value) =
+    Option.value ~default:Dialect_sec.Public (Hashtbl.find_opt levels v.Ir.vid)
+  in
+  List.iteri
+    (fun i (v : Ir.value) ->
+      match List.nth_opt arg_levels i with
+      | Some l -> Hashtbl.replace levels v.Ir.vid l
+      | None -> ())
+    f.Ir.fargs;
+  let violations = ref [] in
+  let sink_clearance (o : Ir.op) =
+    match Ir.attr_str "everest.security" o with
+    | Some s -> Option.value ~default:Dialect_sec.Public (Dialect_sec.level_of_name s)
+    | None -> Dialect_sec.Public
+  in
+  let rec walk ops =
+    List.iter
+      (fun (o : Ir.op) ->
+        let in_level =
+          List.fold_left (fun acc v -> join acc (level_of v)) Dialect_sec.Public
+            o.Ir.operands
+        in
+        (match o.Ir.name with
+        | "sec.classify" -> (
+            match
+              Option.bind (Ir.attr_str "level" o) Dialect_sec.level_of_name
+            with
+            | Some l ->
+                List.iter
+                  (fun (r : Ir.value) -> Hashtbl.replace levels r.Ir.vid (join l in_level))
+                  o.Ir.results
+            | None -> ())
+        | "sec.encrypt" | "sec.mac" ->
+            (* ciphertext / tags are public *)
+            List.iter
+              (fun (r : Ir.value) ->
+                Hashtbl.replace levels r.Ir.vid Dialect_sec.Public)
+              o.Ir.results
+        | "sec.decrypt" ->
+            List.iter
+              (fun (r : Ir.value) ->
+                Hashtbl.replace levels r.Ir.vid Dialect_sec.Confidential)
+              o.Ir.results
+        | "df.sink" ->
+            let clearance = sink_clearance o in
+            if not (Dialect_sec.level_leq in_level clearance) then
+              violations :=
+                { op_name = o.Ir.name; source_level = in_level;
+                  sink_level = clearance;
+                  detail =
+                    Option.value ~default:"?" (Ir.attr_str "name" o) }
+                :: !violations
+        | "memref.store" ->
+            let dst = List.nth o.Ir.operands 1 in
+            let clearance = level_of dst in
+            let data_level = level_of (List.hd o.Ir.operands) in
+            if not (Dialect_sec.level_leq data_level (join clearance Dialect_sec.Internal))
+               && clearance = Dialect_sec.Public
+            then
+              violations :=
+                { op_name = o.Ir.name; source_level = data_level;
+                  sink_level = clearance; detail = "store to public buffer" }
+                :: !violations;
+            List.iter
+              (fun (r : Ir.value) -> Hashtbl.replace levels r.Ir.vid in_level)
+              o.Ir.results
+        | _ ->
+            List.iter
+              (fun (r : Ir.value) -> Hashtbl.replace levels r.Ir.vid in_level)
+              o.Ir.results);
+        List.iter
+          (fun region ->
+            List.iter
+              (fun (b : Ir.block) ->
+                (* block args inherit the op input level *)
+                List.iter
+                  (fun (v : Ir.value) -> Hashtbl.replace levels v.Ir.vid in_level)
+                  b.Ir.bargs;
+                walk b.Ir.body)
+              region)
+          o.Ir.regions)
+      ops
+  in
+  walk f.Ir.fbody;
+  List.rev !violations
+
+let analyze_module ?arg_levels (m : Ir.modul) =
+  List.concat_map
+    (fun f -> List.map (fun v -> (f.Ir.fname, v)) (analyze_func ?arg_levels f))
+    m.Ir.funcs

@@ -1,0 +1,30 @@
+(** Static information-flow tracking over the IR.
+
+    Values carry confidentiality levels (the [sec] dialect lattice); the
+    analysis propagates levels through a function body and reports flows
+    where higher-level data reaches a sink with lower clearance.
+    [sec.encrypt] declassifies: ciphertext is Public. *)
+
+type level = Everest_ir.Dialect_sec.level
+
+type flow_violation = {
+  op_name : string;
+  source_level : level;
+  sink_level : level;
+  detail : string;
+}
+
+val pp_violation : Format.formatter -> flow_violation -> unit
+
+(** Lattice join (maximum). *)
+val join : level -> level -> level
+
+(** Violations of one function; [arg_levels] assigns levels to the formal
+    arguments positionally (default Public). *)
+val analyze_func : ?arg_levels:level list -> Everest_ir.Ir.func -> flow_violation list
+
+(** Violations across the module, tagged with the containing function. *)
+val analyze_module :
+  ?arg_levels:level list ->
+  Everest_ir.Ir.modul ->
+  (string * flow_violation) list

@@ -1,0 +1,9 @@
+(** SHA-256 (FIPS 180-4), used for integrity/authentication of data moving
+    between EVEREST nodes.  Verified against the standard test vectors. *)
+
+val digest_bytes : Bytes.t -> Bytes.t
+val digest_string : string -> Bytes.t
+val hex_of_bytes : Bytes.t -> string
+
+(** Hex digest of a string. *)
+val digest_hex : string -> string

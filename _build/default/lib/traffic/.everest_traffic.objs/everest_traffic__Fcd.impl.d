@@ -1,0 +1,1 @@
+lib/traffic/fcd.ml: Everest_ml Float List Rng Roadnet Routing Simulator

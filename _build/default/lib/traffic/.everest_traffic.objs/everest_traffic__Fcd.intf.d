@@ -1,0 +1,1 @@
+lib/traffic/fcd.mli: Simulator

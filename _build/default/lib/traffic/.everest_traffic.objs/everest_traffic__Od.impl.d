@@ -1,0 +1,1 @@
+lib/traffic/od.ml: Array Everest_ml Rng

@@ -1,0 +1,1 @@
+lib/traffic/predictor.ml: Array Dataset Everest_ml Float List Metrics Mlp Roadnet Simulator

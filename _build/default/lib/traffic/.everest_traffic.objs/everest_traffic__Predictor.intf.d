@@ -1,0 +1,1 @@
+lib/traffic/predictor.mli: Roadnet Simulator

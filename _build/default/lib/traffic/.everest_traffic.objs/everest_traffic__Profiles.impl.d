@@ -1,0 +1,1 @@
+lib/traffic/profiles.ml: Array Everest_ml Fcd Float List Rng Roadnet Simulator

@@ -1,0 +1,1 @@
+lib/traffic/profiles.mli: Everest_ml Fcd Roadnet Simulator

@@ -1,0 +1,1 @@
+lib/traffic/ptdr.ml: Array Everest_ml Hashtbl List Metrics Option Profiles Rng Roadnet Routing

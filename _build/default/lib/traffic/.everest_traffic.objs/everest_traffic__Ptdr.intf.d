@@ -1,0 +1,1 @@
+lib/traffic/ptdr.mli: Everest_ml Profiles Roadnet Routing

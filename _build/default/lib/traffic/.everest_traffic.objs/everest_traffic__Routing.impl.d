@@ -1,0 +1,1 @@
+lib/traffic/routing.ml: Array List Roadnet

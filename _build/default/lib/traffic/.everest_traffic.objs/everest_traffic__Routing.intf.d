@@ -1,0 +1,1 @@
+lib/traffic/routing.mli: Roadnet

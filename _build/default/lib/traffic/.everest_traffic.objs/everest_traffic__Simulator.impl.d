@@ -1,0 +1,1 @@
+lib/traffic/simulator.ml: Array List Od Roadnet Routing

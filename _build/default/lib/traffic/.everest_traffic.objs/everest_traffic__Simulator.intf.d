@@ -1,0 +1,1 @@
+lib/traffic/simulator.mli: Od Roadnet

@@ -1,0 +1,83 @@
+(* The traffic prediction model of §VI-C: "traffic prediction model which
+   learns from the training data set".
+
+   An MLP learns per-link next-period speeds from calendar features, link
+   characteristics and the current speed; trained on the first day of
+   learned profiles, evaluated on a held-out day.  The baselines are
+   free-flow speed and same-period persistence. *)
+
+open Everest_ml
+
+type t = {
+  net : Mlp.t;
+  norm : Dataset.norm;
+  y_mean : float;
+  y_std : float;
+  periods : int;
+}
+
+let features (net : Roadnet.t) ~link ~period ~prev_speed =
+  let l = Roadnet.link net link in
+  let hod = float_of_int (period mod 24) in
+  [| sin (2.0 *. Float.pi *. hod /. 24.0);
+     cos (2.0 *. Float.pi *. hod /. 24.0);
+     l.Roadnet.free_speed_ms;
+     l.Roadnet.capacity_vph /. 1000.0;
+     prev_speed |]
+
+(* Training pairs from a simulator state over [periods]: predict speed at
+   period p+1 from the state at p. *)
+let samples (st : Simulator.state) ~from_period ~to_period =
+  let net = st.Simulator.net in
+  let xs = ref [] and ys = ref [] in
+  for p = from_period to to_period - 1 do
+    for link = 0 to Roadnet.n_links net - 1 do
+      let prev = Simulator.speed st ~period:p ~link in
+      xs := features net ~link ~period:(p + 1) ~prev_speed:prev :: !xs;
+      ys := [| Simulator.speed st ~period:(p + 1) ~link |] :: !ys
+    done
+  done;
+  (Array.of_list (List.rev !xs), Array.of_list (List.rev !ys))
+
+let train ?(epochs = 60) (st : Simulator.state) ~train_periods : t =
+  let xs, ys = samples st ~from_period:0 ~to_period:train_periods in
+  let norm = Dataset.fit_norm xs in
+  let flat = Array.map (fun y -> y.(0)) ys in
+  let y_mean = Metrics.mean flat in
+  let y_std = Float.max 1e-9 (Metrics.stddev flat) in
+  let xs_n = Array.map (Dataset.normalize norm) xs in
+  let ys_n = Array.map (fun y -> [| (y.(0) -. y_mean) /. y_std |]) ys in
+  let net =
+    Mlp.create ~seed:13 ~layers:[ Array.length xs.(0); 12; 1 ]
+      ~activation:Mlp.Tanh ()
+  in
+  ignore (Mlp.fit ~epochs ~lr:0.01 ~batch_size:64 net xs_n ys_n);
+  { net; norm; y_mean; y_std; periods = st.Simulator.periods }
+
+let predict (m : t) (net : Roadnet.t) ~link ~period ~prev_speed =
+  let x = Dataset.normalize m.norm (features net ~link ~period ~prev_speed) in
+  Float.max 0.5 (((Mlp.predict m.net x).(0) *. m.y_std) +. m.y_mean)
+
+type eval = { model_rmse : float; persistence_rmse : float; freeflow_rmse : float }
+
+(* Evaluate next-period prediction over [from_period, to_period). *)
+let evaluate (m : t) (st : Simulator.state) ~from_period ~to_period : eval =
+  let net = st.Simulator.net in
+  let pred = ref [] and persist = ref [] and free = ref [] and truth = ref [] in
+  for p = from_period to to_period - 1 do
+    for link = 0 to Roadnet.n_links net - 1 do
+      let prev = Simulator.speed st ~period:p ~link in
+      let actual = Simulator.speed st ~period:(p + 1) ~link in
+      pred := predict m net ~link ~period:(p + 1) ~prev_speed:prev :: !pred;
+      persist := prev :: !persist;
+      free := (Roadnet.link net link).Roadnet.free_speed_ms :: !free;
+      truth := actual :: !truth
+    done
+  done;
+  let arr l = Array.of_list (List.rev !l) in
+  let t = arr truth in
+  {
+    model_rmse = Metrics.rmse (arr pred) t;
+    persistence_rmse = Metrics.rmse (arr persist) t;
+    freeflow_rmse = Metrics.rmse (arr free) t;
+  }

@@ -1,0 +1,25 @@
+(** The traffic prediction model of §VI-C: an MLP learning per-link
+    next-period speeds from calendar features, link characteristics and the
+    current speed; baselines are free-flow speed and persistence. *)
+
+type t
+
+(** Feature vector for one (link, period) with the previous-period speed. *)
+val features :
+  Roadnet.t -> link:int -> period:int -> prev_speed:float -> float array
+
+(** (inputs, targets) over [from_period, to_period): predict period p+1
+    from period p. *)
+val samples :
+  Simulator.state -> from_period:int -> to_period:int ->
+  float array array * float array array
+
+(** Train on the first [train_periods] of the simulated state. *)
+val train : ?epochs:int -> Simulator.state -> train_periods:int -> t
+
+val predict : t -> Roadnet.t -> link:int -> period:int -> prev_speed:float -> float
+
+type eval = { model_rmse : float; persistence_rmse : float; freeflow_rmse : float }
+
+(** Next-period prediction error over the held-out window. *)
+val evaluate : t -> Simulator.state -> from_period:int -> to_period:int -> eval

@@ -1,0 +1,134 @@
+(* Shortest-path routing: static Dijkstra and time-dependent Dijkstra over
+   per-period link costs. *)
+
+type path = { nodes : int list; links : int list; cost : float }
+
+module Pq = struct
+  (* simple binary heap of (cost, node) *)
+  type t = { mutable a : (float * int) array; mutable n : int }
+
+  let create () = { a = Array.make 64 (0.0, 0); n = 0 }
+
+  let push q x =
+    if q.n = Array.length q.a then begin
+      let b = Array.make (2 * q.n) (0.0, 0) in
+      Array.blit q.a 0 b 0 q.n;
+      q.a <- b
+    end;
+    q.a.(q.n) <- x;
+    q.n <- q.n + 1;
+    let i = ref (q.n - 1) in
+    while !i > 0 && fst q.a.((!i - 1) / 2) > fst q.a.(!i) do
+      let p = (!i - 1) / 2 in
+      let t = q.a.(p) in
+      q.a.(p) <- q.a.(!i);
+      q.a.(!i) <- t;
+      i := p
+    done
+
+  let pop q =
+    if q.n = 0 then None
+    else begin
+      let top = q.a.(0) in
+      q.n <- q.n - 1;
+      q.a.(0) <- q.a.(q.n);
+      let i = ref 0 in
+      let break = ref false in
+      while not !break do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < q.n && fst q.a.(l) < fst q.a.(!m) then m := l;
+        if r < q.n && fst q.a.(r) < fst q.a.(!m) then m := r;
+        if !m = !i then break := true
+        else begin
+          let t = q.a.(!m) in
+          q.a.(!m) <- q.a.(!i);
+          q.a.(!i) <- t;
+          i := !m
+        end
+      done;
+      Some top
+    end
+end
+
+(* Dijkstra with a per-link cost function; returns None if unreachable. *)
+let shortest (g : Roadnet.t) ~cost ~src ~dst : path option =
+  let dist = Array.make g.Roadnet.n_nodes infinity in
+  let pred = Array.make g.Roadnet.n_nodes (-1) in
+  (* pred link id *)
+  let q = Pq.create () in
+  dist.(src) <- 0.0;
+  Pq.push q (0.0, src);
+  let finished = ref false in
+  while not !finished do
+    match Pq.pop q with
+    | None -> finished := true
+    | Some (d, u) ->
+        if u = dst then finished := true
+        else if d <= dist.(u) then
+          List.iter
+            (fun lid ->
+              let l = Roadnet.link g lid in
+              let c = cost l in
+              if dist.(u) +. c < dist.(l.Roadnet.dst) then begin
+                dist.(l.Roadnet.dst) <- dist.(u) +. c;
+                pred.(l.Roadnet.dst) <- lid;
+                Pq.push q (dist.(l.Roadnet.dst), l.Roadnet.dst)
+              end)
+            g.Roadnet.out_links.(u)
+  done;
+  if dist.(dst) = infinity then None
+  else begin
+    let rec walk n acc_nodes acc_links =
+      if n = src then (src :: acc_nodes, acc_links)
+      else
+        let lid = pred.(n) in
+        let l = Roadnet.link g lid in
+        walk l.Roadnet.src (n :: acc_nodes) (lid :: acc_links)
+    in
+    let nodes, links = walk dst [] [] in
+    Some { nodes; links; cost = dist.(dst) }
+  end
+
+let free_flow (g : Roadnet.t) ~src ~dst =
+  shortest g ~cost:Roadnet.free_flow_time ~src ~dst
+
+(* Time-dependent shortest path: [period_of t] maps departure time to a
+   period index; [cost period l] gives the link traversal time. *)
+let time_dependent (g : Roadnet.t) ~period_of ~cost ~src ~dst ~depart :
+    path option =
+  let dist = Array.make g.Roadnet.n_nodes infinity in
+  let pred = Array.make g.Roadnet.n_nodes (-1) in
+  let q = Pq.create () in
+  dist.(src) <- depart;
+  Pq.push q (depart, src);
+  let finished = ref false in
+  while not !finished do
+    match Pq.pop q with
+    | None -> finished := true
+    | Some (d, u) ->
+        if u = dst then finished := true
+        else if d <= dist.(u) then
+          List.iter
+            (fun lid ->
+              let l = Roadnet.link g lid in
+              let c = cost (period_of dist.(u)) l in
+              if dist.(u) +. c < dist.(l.Roadnet.dst) then begin
+                dist.(l.Roadnet.dst) <- dist.(u) +. c;
+                pred.(l.Roadnet.dst) <- lid;
+                Pq.push q (dist.(l.Roadnet.dst), l.Roadnet.dst)
+              end)
+            g.Roadnet.out_links.(u)
+  done;
+  if dist.(dst) = infinity then None
+  else begin
+    let rec walk n acc_nodes acc_links =
+      if n = src then (src :: acc_nodes, acc_links)
+      else
+        let lid = pred.(n) in
+        let l = Roadnet.link g lid in
+        walk l.Roadnet.src (n :: acc_nodes) (lid :: acc_links)
+    in
+    let nodes, links = walk dst [] [] in
+    Some { nodes; links; cost = dist.(dst) -. depart }
+  end

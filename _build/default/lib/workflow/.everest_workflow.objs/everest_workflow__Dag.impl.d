@@ -1,0 +1,1 @@
+lib/workflow/dag.ml: Array Everest_hls List Printf

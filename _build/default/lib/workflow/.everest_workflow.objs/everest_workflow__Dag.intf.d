@@ -1,0 +1,1 @@
+lib/workflow/dag.mli: Everest_hls

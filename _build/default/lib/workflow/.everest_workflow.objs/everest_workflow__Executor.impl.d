@@ -1,0 +1,1 @@
+lib/workflow/executor.ml: Array Cluster Dag Desim Everest_hls Everest_platform Float List Node Printf Scheduler Spec

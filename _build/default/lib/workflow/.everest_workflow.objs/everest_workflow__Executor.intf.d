@@ -1,0 +1,1 @@
+lib/workflow/executor.mli: Dag Everest_platform Scheduler

@@ -1,0 +1,1 @@
+lib/workflow/placement.ml: Array Cluster Dag Everest_platform Float Fmt List Scheduler

@@ -1,0 +1,1 @@
+lib/workflow/placement.mli: Cluster Everest_platform Format Scheduler

@@ -1,0 +1,1 @@
+lib/workflow/scheduler.ml: Array Cluster Dag Everest_platform Float Fun Hashtbl List Node Option Spec String

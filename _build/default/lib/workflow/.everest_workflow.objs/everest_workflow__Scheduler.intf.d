@@ -1,0 +1,1 @@
+lib/workflow/scheduler.mli: Cluster Dag Everest_platform Node

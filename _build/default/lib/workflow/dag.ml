@@ -1,0 +1,119 @@
+(* Workflow task graphs (the HyperLoom execution plan).
+
+   A task carries one or more implementations (the compiler's variants):
+   software on some number of threads, or a synthesized FPGA kernel.  The
+   scheduler picks a node and an implementation per task; the executor
+   replays the plan on the simulated platform. *)
+
+type impl =
+  | Cpu of { flops : float; bytes : float; threads : int }
+  | Fpga of {
+      bitstream : string;
+      estimate : Everest_hls.Estimate.t;
+      in_bytes : int;
+      out_bytes : int;
+    }
+
+let impl_name = function
+  | Cpu { threads; _ } -> Printf.sprintf "cpu<%d>" threads
+  | Fpga { bitstream; _ } -> Printf.sprintf "fpga<%s>" bitstream
+
+type task = {
+  id : int;
+  name : string;
+  impls : impl list;  (* non-empty *)
+  inputs : int list;  (* producer task ids *)
+  out_bytes : int;
+  pinned : string option;  (* sources pinned to a node (data origin) *)
+}
+
+type t = { dag_name : string; tasks : task array }
+
+let task ?(pinned = None) ?(impls = []) ~id ~name ~inputs ~out_bytes () =
+  { id; name; impls; inputs; out_bytes; pinned }
+
+let create dag_name tasks =
+  let arr = Array.of_list tasks in
+  Array.iteri
+    (fun i t ->
+      if t.id <> i then invalid_arg "dag: ids must be consecutive";
+      List.iter
+        (fun d -> if d >= i then invalid_arg "dag: inputs must precede tasks")
+        t.inputs)
+    arr;
+  { dag_name; tasks = arr }
+
+let size d = Array.length d.tasks
+let find d id = d.tasks.(id)
+
+let consumers d id =
+  Array.to_list d.tasks
+  |> List.filter_map (fun t -> if List.mem id t.inputs then Some t.id else None)
+
+let total_flops d =
+  Array.fold_left
+    (fun acc t ->
+      match t.impls with
+      | Cpu { flops; _ } :: _ -> acc +. flops
+      | _ -> acc)
+    0.0 d.tasks
+
+(* ---- generators ------------------------------------------------------------------ *)
+
+(* Layered random DAG: [layers] layers of [width] tasks, each consuming 1-2
+   tasks from the previous layer.  Deterministic in [seed]. *)
+let layered ?(seed = 1) ~layers ~width ~flops ~bytes () =
+  let st = ref seed in
+  let rand m = st := ((!st * 48271) mod 0x7FFFFFFF); !st mod m in
+  let tasks = ref [] in
+  let id = ref 0 in
+  let prev = ref [] in
+  for l = 0 to layers - 1 do
+    let this = ref [] in
+    for w = 0 to width - 1 do
+      let inputs =
+        if l = 0 then []
+        else
+          let p = List.nth !prev (rand (List.length !prev)) in
+          let q = List.nth !prev (rand (List.length !prev)) in
+          List.sort_uniq compare [ p; q ]
+      in
+      let t =
+        task ~id:!id ~name:(Printf.sprintf "t%d_%d" l w) ~inputs
+          ~out_bytes:(int_of_float bytes)
+          ~impls:[ Cpu { flops; bytes; threads = 1 } ]
+          ()
+      in
+      this := !id :: !this;
+      incr id;
+      tasks := t :: !tasks
+    done;
+    prev := !this
+  done;
+  create "layered" (List.rev !tasks)
+
+(* Fork-join: one source fans out to [width] parallel workers, joined by a
+   reducer — the shape of ensemble weather processing. *)
+let fork_join ?(name = "fork-join") ~width ~worker_flops ~worker_bytes
+    ~chunk_bytes () =
+  let src =
+    task ~id:0 ~name:"source" ~inputs:[] ~out_bytes:(width * chunk_bytes)
+      ~impls:[ Cpu { flops = 1e6; bytes = float_of_int (width * chunk_bytes); threads = 1 } ]
+      ()
+  in
+  let workers =
+    List.init width (fun i ->
+        task ~id:(i + 1)
+          ~name:(Printf.sprintf "worker%d" i)
+          ~inputs:[ 0 ] ~out_bytes:chunk_bytes
+          ~impls:[ Cpu { flops = worker_flops; bytes = worker_bytes; threads = 1 } ]
+          ())
+  in
+  let join =
+    task ~id:(width + 1) ~name:"reduce"
+      ~inputs:(List.init width (fun i -> i + 1))
+      ~out_bytes:chunk_bytes
+      ~impls:[ Cpu { flops = 1e7; bytes = float_of_int (width * chunk_bytes); threads = 1 } ]
+      ()
+  in
+  create name ((src :: workers) @ [ join ])

@@ -1,0 +1,64 @@
+(** Workflow task graphs (the HyperLoom execution plan).
+
+    A task carries one or more implementations (the compiler's variants):
+    software on some number of threads, or a synthesized FPGA kernel.  The
+    scheduler picks a node and an implementation per task; the executor
+    replays the plan on the simulated platform. *)
+
+type impl =
+  | Cpu of { flops : float; bytes : float; threads : int }
+  | Fpga of {
+      bitstream : string;
+      estimate : Everest_hls.Estimate.t;
+      in_bytes : int;
+      out_bytes : int;
+    }
+
+val impl_name : impl -> string
+
+type task = {
+  id : int;
+  name : string;
+  impls : impl list;  (** Non-empty. *)
+  inputs : int list;  (** Producer task ids (must precede this task). *)
+  out_bytes : int;
+  pinned : string option;  (** Sources pinned to a node (data origin). *)
+}
+
+type t = { dag_name : string; tasks : task array }
+
+val task :
+  ?pinned:string option ->
+  ?impls:impl list ->
+  id:int ->
+  name:string ->
+  inputs:int list ->
+  out_bytes:int ->
+  unit ->
+  task
+
+(** @raise Invalid_argument unless ids are consecutive and inputs precede. *)
+val create : string -> task list -> t
+
+val size : t -> int
+val find : t -> int -> task
+val consumers : t -> int -> int list
+val total_flops : t -> float
+
+(** {2 Generators} *)
+
+(** Layered random DAG (deterministic in [seed]): [layers] layers of [width]
+    tasks, each consuming one or two tasks of the previous layer. *)
+val layered :
+  ?seed:int -> layers:int -> width:int -> flops:float -> bytes:float -> unit -> t
+
+(** One source fanning out to [width] workers joined by a reducer — the
+    shape of ensemble weather processing. *)
+val fork_join :
+  ?name:string ->
+  width:int ->
+  worker_flops:float ->
+  worker_bytes:float ->
+  chunk_bytes:int ->
+  unit ->
+  t

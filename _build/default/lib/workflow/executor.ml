@@ -1,0 +1,140 @@
+(* Plan execution on the simulated platform.
+
+   Each task waits for its inputs, pulls them from the producers' nodes over
+   the cluster links, runs its chosen implementation on its assigned node,
+   and signals completion — the measurable counterpart of HyperLoom's
+   distributed executor.
+
+   Fault tolerance: [failures] marks nodes that die at a given simulated
+   time.  Tasks launched on a dead node divert to a fallback; tasks whose
+   node died while they ran are detected at completion and re-executed
+   (HyperLoom re-runs failed tasks from their inputs). *)
+
+open Everest_platform
+
+type stats = {
+  makespan : float;
+  task_finish : float array;
+  bytes_moved : int;
+  transfers : int;
+  energy_j : float;
+  per_node_tasks : (string * int) list;
+  retries : int;
+}
+
+let execute ?(failures = []) (c : Cluster.t) (plan : Scheduler.plan) : stats =
+  let dag = plan.Scheduler.dag in
+  let sim = c.Cluster.sim in
+  let dead (node : Node.t) =
+    match List.assoc_opt node.Node.name failures with
+    | Some t -> Desim.now sim >= t
+    | None -> false
+  in
+  let fallback () =
+    match List.find_opt (fun n -> not (dead n)) c.Cluster.nodes with
+    | Some n -> n
+    | None -> invalid_arg "executor: every node failed"
+  in
+  (* Deployment-time configuration: install every planned bitstream on the
+     FPGAs of its assigned node (the cloudFPGA shell configures roles when
+     resources are allocated, not lazily at first launch). *)
+  Array.iter
+    (fun (a : Scheduler.assignment) ->
+      match a.Scheduler.impl with
+      | Dag.Fpga { bitstream; _ } ->
+          let node = Cluster.find_node c a.Scheduler.node in
+          List.iter (fun dev -> Node.preload dev ~bitstream) node.Node.fpgas
+      | Dag.Cpu _ -> ())
+    plan.Scheduler.assignments;
+  let n = Dag.size dag in
+  let finish = Array.make n (-1.0) in
+  let ran_on = Array.make n "" in
+  let remaining_deps = Array.map (fun t -> List.length t.Dag.inputs) dag.Dag.tasks in
+  let retries = ref 0 in
+  let rec launch i =
+    let t = dag.Dag.tasks.(i) in
+    let a = plan.Scheduler.assignments.(i) in
+    let planned = Cluster.find_node c a.Scheduler.node in
+    let dst = if dead planned then fallback () else planned in
+    run_on i t a dst
+  and run_on i (t : Dag.task) (a : Scheduler.assignment) (dst : Node.t) =
+    (* pull inputs sequentially (HyperLoom pulls over per-pair connections) *)
+    let rec pull inputs k =
+      match inputs with
+      | [] -> k ()
+      | d :: rest ->
+          let src = Cluster.find_node c ran_on.(d) in
+          Cluster.transfer c ~src ~dst ~bytes:dag.Dag.tasks.(d).Dag.out_bytes
+            (fun () -> pull rest k)
+    in
+    pull t.Dag.inputs (fun () ->
+        let done_ () =
+          if dead dst then begin
+            (* the node died while the task ran: re-execute elsewhere *)
+            incr retries;
+            run_on i t a (fallback ())
+          end
+          else begin
+            ran_on.(i) <- dst.Node.name;
+            finish.(i) <- Desim.now sim;
+            List.iter
+              (fun s ->
+                remaining_deps.(s) <- remaining_deps.(s) - 1;
+                if remaining_deps.(s) = 0 then launch s)
+              (Dag.consumers dag i)
+          end
+        in
+        match a.Scheduler.impl with
+        | Dag.Cpu { flops; bytes; threads } ->
+            Node.run_cpu sim dst ~flops ~bytes ~threads done_
+        | Dag.Fpga { bitstream; estimate; in_bytes; out_bytes } -> (
+            match Node.pick_device dst with
+            | None ->
+                (* infeasible assignment: degrade to CPU at estimate cycles *)
+                Node.run_cpu sim dst
+                  ~flops:(float_of_int estimate.Everest_hls.Estimate.cycles *. 10.0)
+                  ~bytes:(float_of_int (in_bytes + out_bytes))
+                  ~threads:1 done_
+            | Some dev ->
+                let link =
+                  match dev.Node.fspec.Spec.attach with
+                  | Spec.Bus_coherent -> Spec.opencapi
+                  | Spec.Network_attached -> Spec.eth100_tcp
+                in
+                Node.run_fpga sim dst dev ~bitstream ~estimate ~host_link:link
+                  ~in_bytes ~out_bytes done_))
+  in
+  Array.iteri
+    (fun i t -> if t.Dag.inputs = [] then launch i)
+    dag.Dag.tasks;
+  Cluster.run c;
+  Array.iteri
+    (fun i f ->
+      if f < 0.0 then
+        invalid_arg (Printf.sprintf "executor: task %d never completed" i))
+    finish;
+  let makespan = Array.fold_left Float.max 0.0 finish in
+  let per_node =
+    List.map
+      (fun (nd : Node.t) -> (nd.Node.name, nd.Node.tasks_run))
+      c.Cluster.nodes
+  in
+  {
+    makespan;
+    task_finish = finish;
+    bytes_moved = c.Cluster.bytes_moved;
+    transfers = c.Cluster.transfers;
+    energy_j = Cluster.total_energy c;
+    per_node_tasks = per_node;
+    retries = !retries;
+  }
+
+(* Convenience: build a fresh demonstrator, schedule with [policy], run. *)
+let run_on_demonstrator ?(cloud_fpgas = 4) ?(edges = 2) ?(endpoints = 4)
+    ?failures ~policy dag =
+  let c = Cluster.everest_demonstrator ~cloud_fpgas ~edges ~endpoints () in
+  match Scheduler.by_name policy with
+  | None -> invalid_arg ("unknown scheduling policy " ^ policy)
+  | Some f ->
+      let plan = f c dag in
+      (plan, execute ?failures c plan)

@@ -1,0 +1,38 @@
+(** Plan execution on the simulated platform.
+
+    Each task waits for its inputs, pulls them from the producers' nodes
+    over the cluster links, runs its chosen implementation on its assigned
+    node, and signals completion — the measurable counterpart of
+    HyperLoom's distributed executor.  Planned bitstreams are preloaded at
+    deployment (cloudFPGA configures roles at allocation). *)
+
+type stats = {
+  makespan : float;
+  task_finish : float array;
+  bytes_moved : int;
+  transfers : int;
+  energy_j : float;
+  per_node_tasks : (string * int) list;
+  retries : int;  (** Re-executions caused by node failures. *)
+}
+
+(** Execute the plan.  [failures] is a list of [(node, time)] pairs: the
+    node dies at the simulated time; tasks divert or re-execute on a
+    fallback node (HyperLoom-style recovery).
+    @raise Invalid_argument if a task never completes or every node fails. *)
+val execute :
+  ?failures:(string * float) list ->
+  Everest_platform.Cluster.t ->
+  Scheduler.plan ->
+  stats
+
+(** Build a fresh demonstrator, schedule with the named policy, execute.
+    @raise Invalid_argument on unknown policy names. *)
+val run_on_demonstrator :
+  ?cloud_fpgas:int ->
+  ?edges:int ->
+  ?endpoints:int ->
+  ?failures:(string * float) list ->
+  policy:string ->
+  Dag.t ->
+  Scheduler.plan * stats

@@ -1,0 +1,207 @@
+(* Workflow schedulers: assignment of tasks to nodes (and implementation
+   choice).  Baselines (round-robin, min-load) plus HEFT and the
+   locality-aware scheduler that models HyperLoom's data-aware placement
+   ("improve resource utilization and reduce the overall workflow processing
+   time", paper §III-A). *)
+
+open Everest_platform
+
+type assignment = { node : string; impl : Dag.impl }
+
+type plan = {
+  dag : Dag.t;
+  assignments : assignment array;  (* indexed by task id *)
+  policy : string;
+}
+
+(* Estimated execution time of [impl] on [node], ignoring queuing. *)
+let exec_estimate (node : Node.t) (impl : Dag.impl) =
+  match impl with
+  | Dag.Cpu { flops; bytes; threads } ->
+      Spec.cpu_time node.Node.cpu ~flops ~bytes ~threads
+  | Dag.Fpga { estimate; in_bytes; out_bytes; _ } -> (
+      match node.Node.fpgas with
+      | [] -> infinity
+      | dev :: _ ->
+          let link =
+            match dev.Node.fspec.Spec.attach with
+            | Spec.Bus_coherent -> Spec.opencapi
+            | Spec.Network_attached -> Spec.eth100_tcp
+          in
+          Spec.fpga_kernel_time dev.Node.fspec estimate
+          +. Spec.transfer_time link ~bytes:in_bytes
+          +. Spec.transfer_time link ~bytes:out_bytes)
+
+(* Best implementation for a node: fastest feasible. *)
+let best_impl (node : Node.t) (t : Dag.task) =
+  List.fold_left
+    (fun acc impl ->
+      let c = exec_estimate node impl in
+      match acc with
+      | Some (_, best) when best <= c -> acc
+      | _ when c = infinity -> acc
+      | _ -> Some (impl, c))
+    None t.Dag.impls
+
+let eligible_nodes (c : Cluster.t) (t : Dag.task) =
+  match t.Dag.pinned with
+  | Some n -> [ Cluster.find_node c n ]
+  | None ->
+      List.filter (fun n -> best_impl n t <> None) c.Cluster.nodes
+
+let assign_or_fail t node =
+  match best_impl node t with
+  | Some (impl, _) -> { node = node.Node.name; impl }
+  | None ->
+      (* pinned node without a feasible impl: fall back to first impl *)
+      { node = node.Node.name; impl = List.hd t.Dag.impls }
+
+(* ---- round robin ------------------------------------------------------------------ *)
+
+let round_robin (c : Cluster.t) (dag : Dag.t) : plan =
+  let counter = ref 0 in
+  let assignments =
+    Array.map
+      (fun (t : Dag.task) ->
+        let nodes = eligible_nodes c t in
+        let nodes = if nodes = [] then c.Cluster.nodes else nodes in
+        let node = List.nth nodes (!counter mod List.length nodes) in
+        incr counter;
+        assign_or_fail t node)
+      dag.Dag.tasks
+  in
+  { dag; assignments; policy = "round-robin" }
+
+(* ---- min-load --------------------------------------------------------------------- *)
+
+let min_load (c : Cluster.t) (dag : Dag.t) : plan =
+  let load : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let get n = Option.value ~default:0.0 (Hashtbl.find_opt load n) in
+  let assignments =
+    Array.map
+      (fun (t : Dag.task) ->
+        let nodes = eligible_nodes c t in
+        let nodes = if nodes = [] then c.Cluster.nodes else nodes in
+        let node =
+          List.fold_left
+            (fun best n ->
+              if get n.Node.name < get best.Node.name then n else best)
+            (List.hd nodes) (List.tl nodes)
+        in
+        let a = assign_or_fail t node in
+        Hashtbl.replace load a.node
+          (get a.node +. exec_estimate node a.impl);
+        a)
+      dag.Dag.tasks
+  in
+  { dag; assignments; policy = "min-load" }
+
+(* ---- HEFT ------------------------------------------------------------------------- *)
+
+(* Average execution cost across nodes and average transfer cost are used
+   for the upward rank; earliest-finish-time drives placement. *)
+let heft ?(locality_aware = false) (c : Cluster.t) (dag : Dag.t) : plan =
+  let nodes = c.Cluster.nodes in
+  let n_tasks = Dag.size dag in
+  let avg_exec (t : Dag.task) =
+    let costs =
+      List.filter_map
+        (fun n -> Option.map snd (best_impl n t))
+        nodes
+    in
+    if costs = [] then 1.0
+    else List.fold_left ( +. ) 0.0 costs /. float_of_int (List.length costs)
+  in
+  let avg_bw =
+    (* representative DC link *)
+    Spec.eth100_tcp.Spec.bandwidth_gbs *. 1e9
+  in
+  let rank = Array.make n_tasks 0.0 in
+  for i = n_tasks - 1 downto 0 do
+    let t = dag.Dag.tasks.(i) in
+    let succ_part =
+      List.fold_left
+        (fun m s ->
+          let comm = float_of_int t.Dag.out_bytes /. avg_bw in
+          Float.max m (comm +. rank.(s)))
+        0.0 (Dag.consumers dag i)
+    in
+    rank.(i) <- avg_exec t +. succ_part
+  done;
+  let order =
+    List.sort
+      (fun a b -> compare rank.(b) rank.(a))
+      (List.init n_tasks Fun.id)
+  in
+  let node_ready : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let task_finish = Array.make n_tasks 0.0 in
+  let task_node = Array.make n_tasks "" in
+  let assignments = Array.make n_tasks { node = ""; impl = Dag.Cpu { flops = 0.; bytes = 0.; threads = 1 } } in
+  (* schedule in rank order, but dependencies always rank higher, so inputs
+     are placed before consumers *)
+  List.iter
+    (fun i ->
+      let t = dag.Dag.tasks.(i) in
+      let candidates =
+        match t.Dag.pinned with
+        | Some n -> [ Cluster.find_node c n ]
+        | None -> nodes
+      in
+      let eft_on (n : Node.t) =
+        match best_impl n t with
+        | None -> None
+        | Some (impl, exec) ->
+            let ready_node =
+              Option.value ~default:0.0 (Hashtbl.find_opt node_ready n.Node.name)
+            in
+            let ready_data =
+              List.fold_left
+                (fun m d ->
+                  let src = Cluster.find_node c task_node.(d) in
+                  let comm =
+                    if locality_aware then
+                      Cluster.transfer_time c ~src ~dst:n
+                        ~bytes:dag.Dag.tasks.(d).Dag.out_bytes
+                    else if String.equal task_node.(d) n.Node.name then 0.0
+                    else
+                      float_of_int dag.Dag.tasks.(d).Dag.out_bytes /. avg_bw
+                  in
+                  Float.max m (task_finish.(d) +. comm))
+                0.0 t.Dag.inputs
+            in
+            let start = Float.max ready_node ready_data in
+            Some (impl, start +. exec)
+      in
+      let best =
+        List.fold_left
+          (fun acc n ->
+            match eft_on n with
+            | None -> acc
+            | Some (impl, eft) -> (
+                match acc with
+                | Some (_, _, best_eft) when best_eft <= eft -> acc
+                | _ -> Some (n, impl, eft)))
+          None candidates
+      in
+      match best with
+      | Some (n, impl, eft) ->
+          assignments.(i) <- { node = n.Node.name; impl };
+          task_finish.(i) <- eft;
+          task_node.(i) <- n.Node.name;
+          Hashtbl.replace node_ready n.Node.name eft
+      | None ->
+          let n = List.hd nodes in
+          assignments.(i) <- assign_or_fail t n;
+          task_node.(i) <- n.Node.name)
+    order;
+  { dag; assignments;
+    policy = (if locality_aware then "heft-locality" else "heft") }
+
+let locality (c : Cluster.t) (dag : Dag.t) : plan = heft ~locality_aware:true c dag
+
+let by_name = function
+  | "round-robin" -> Some round_robin
+  | "min-load" -> Some min_load
+  | "heft" -> Some (heft ~locality_aware:false)
+  | "heft-locality" | "locality" -> Some locality
+  | _ -> None

@@ -1,0 +1,40 @@
+(** Workflow schedulers: assignment of tasks to nodes and implementation
+    choice.  Baselines (round-robin, min-load) plus HEFT and the
+    locality-aware HEFT that models HyperLoom's data-aware placement. *)
+
+open Everest_platform
+
+type assignment = { node : string; impl : Dag.impl }
+
+type plan = {
+  dag : Dag.t;
+  assignments : assignment array;  (** Indexed by task id. *)
+  policy : string;
+}
+
+(** Estimated execution time of [impl] on a node, ignoring queuing;
+    [infinity] for FPGA implementations on FPGA-less nodes. *)
+val exec_estimate : Node.t -> Dag.impl -> float
+
+(** Fastest feasible implementation of a task on a node. *)
+val best_impl : Node.t -> Dag.task -> (Dag.impl * float) option
+
+val eligible_nodes : Cluster.t -> Dag.task -> Node.t list
+
+(** Spread tasks across eligible nodes in turn. *)
+val round_robin : Cluster.t -> Dag.t -> plan
+
+(** Greedy least-accumulated-work placement. *)
+val min_load : Cluster.t -> Dag.t -> plan
+
+(** Heterogeneous earliest-finish-time list scheduling.  With
+    [locality_aware], communication costs use the actual cluster links and
+    current data placement instead of an average bandwidth. *)
+val heft : ?locality_aware:bool -> Cluster.t -> Dag.t -> plan
+
+(** [heft ~locality_aware:true]. *)
+val locality : Cluster.t -> Dag.t -> plan
+
+(** Look up a policy by name: "round-robin", "min-load", "heft",
+    "heft-locality"/"locality". *)
+val by_name : string -> (Cluster.t -> Dag.t -> plan) option

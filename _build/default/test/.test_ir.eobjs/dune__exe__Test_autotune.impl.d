@@ -1,0 +1,1 @@
+test/test_autotune.ml: Alcotest Everest_autotune Goal Knowledge List Option QCheck QCheck_alcotest Selector Tuner

@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Annot Array Dataflow Everest_dsl Everest_ir Float List Lower Model_import Particles QCheck QCheck_alcotest String Tensor_expr

@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Array Bind Cdfg Dift Estimate Everest_hls Everest_ir Gen Hls List Mem_partition QCheck QCheck_alcotest Rtl Schedule String

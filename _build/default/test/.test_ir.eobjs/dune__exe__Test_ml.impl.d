@@ -1,0 +1,1 @@
+test/test_ml.ml: Alcotest Array Dataset Everest_ml Float Gen Linalg Linreg List Metrics Mlp QCheck QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Cluster Desim Everest_hls Everest_platform Float List Node Printf QCheck QCheck_alcotest Spec

@@ -1,0 +1,1 @@
+test/test_sdk.ml: Alcotest Everest Everest_autotune Everest_compiler Everest_dsl Everest_ir List String

@@ -1,0 +1,1 @@
+test/test_security.ml: Aes Alcotest Bytes Char Cipher Everest_ir Everest_security Gen Hmac Ift List Monitor QCheck QCheck_alcotest Sha256 String

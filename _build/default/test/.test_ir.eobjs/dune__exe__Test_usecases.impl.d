@@ -1,0 +1,1 @@
+test/test_usecases.ml: Alcotest Array Everest_airq Everest_energy Everest_ml Everest_traffic Float List

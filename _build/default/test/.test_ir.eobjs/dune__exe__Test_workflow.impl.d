@@ -1,0 +1,1 @@
+test/test_workflow.ml: Alcotest Array Cluster Dag Everest_hls Everest_platform Everest_workflow Executor Float List Node Option Placement Printf QCheck QCheck_alcotest Scheduler

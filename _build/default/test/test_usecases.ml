@@ -1,0 +1,338 @@
+(* Tests for the three industrial use cases: renewable-energy forecasting
+   (§VI-A), air-quality monitoring (§VI-B) and traffic modeling (§VI-C). *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+(* ---- energy: weather ------------------------------------------------------------ *)
+
+module W = Everest_energy.Weather
+module WF = Everest_energy.Windfarm
+module EF = Everest_energy.Forecast
+
+let small_params = { W.default_params with W.days = 14; seed = 9 }
+
+let test_weather_truth_shape () =
+  let t = W.truth small_params in
+  checki "hourly samples" (14 * 24) (Array.length t);
+  checkb "winds nonnegative" true
+    (Array.for_all (fun (s : W.sample) -> s.W.wind_ms >= 0.0) t);
+  checkb "plausible magnitude" true
+    (let mean = Everest_ml.Metrics.mean (Array.map (fun s -> s.W.wind_ms) t) in
+     mean > 3.0 && mean < 15.0)
+
+let test_weather_deterministic () =
+  let a = W.truth small_params and b = W.truth small_params in
+  checkb "same truth for same seed" true
+    (Array.for_all2 (fun (x : W.sample) y -> x.W.wind_ms = y.W.wind_ms) a b)
+
+let test_resolution_fidelity () =
+  (* finer members track the truth better *)
+  let t = W.truth small_params in
+  let err res =
+    let e = W.generate ~n_members:6 small_params t ~resolution_km:res in
+    let errs =
+      Array.init (Array.length t) (fun h ->
+          let mean, _ = W.ensemble_mean_std e h in
+          Float.abs (mean -. t.(h).W.wind_ms))
+    in
+    Everest_ml.Metrics.mean errs
+  in
+  checkb "2.5km beats 25km" true (err 2.5 < err 25.0)
+
+let test_member_cost_scales () =
+  checkb "finer grid costs much more" true
+    (W.member_flops ~resolution_km:2.5 ~hours:24
+    > 50.0 *. W.member_flops ~resolution_km:25.0 ~hours:24)
+
+(* ---- energy: wind farm ----------------------------------------------------------- *)
+
+let test_power_curve () =
+  let t = WF.default_turbine in
+  checkf 1e-9 "below cut-in" 0.0 (WF.turbine_power t 2.0);
+  checkf 1e-9 "above cut-out" 0.0 (WF.turbine_power t 26.0);
+  checkf 1e-9 "rated" t.WF.rated_kw (WF.turbine_power t 15.0);
+  checkb "monotone in ramp" true
+    (WF.turbine_power t 6.0 < WF.turbine_power t 9.0)
+
+let test_farm_power () =
+  let f = WF.default_farm in
+  checkb "wake loss applied" true
+    (WF.farm_power_kw f 15.0
+    < float_of_int f.WF.turbines *. f.WF.turbine.WF.rated_kw)
+
+(* ---- energy: forecasting ----------------------------------------------------------- *)
+
+let test_forecast_beats_baselines () =
+  let cfg = { EF.default_config with EF.train_days = 10; epochs = 60 } in
+  let p = { W.default_params with W.days = 16; seed = 4 } in
+  let model, persist, _climo = EF.evaluate ~cfg p in
+  checkb "model beats persistence" true
+    (model.EF.mae_kw < persist.EF.mae_kw);
+  checkb "positive imbalance cost" true (model.EF.imbalance_eur > 0.0)
+
+let test_resolution_improves_forecast () =
+  let p = { W.default_params with W.days = 20; seed = 8 } in
+  let cfg r = { EF.default_config with EF.train_days = 14; epochs = 60; resolution_km = r } in
+  let coarse, _, _ = EF.evaluate ~cfg:(cfg 25.0) p in
+  let fine, _, _ = EF.evaluate ~cfg:(cfg 2.5) p in
+  checkb "high resolution lowers MAE" true (fine.EF.mae_kw < coarse.EF.mae_kw)
+
+(* ---- air quality -------------------------------------------------------------------- *)
+
+module P = Everest_airq.Plume
+module AF = Everest_airq.Airq_forecast
+module Sn = Everest_airq.Sensors
+
+let one_source =
+  [ { P.sx = 0.0; sy = 0.0; height_m = 30.0; emission_gs = 100.0 } ]
+
+let test_plume_downwind () =
+  (* wind blowing toward +x: concentration downwind >> upwind *)
+  let down =
+    P.concentration ~src:(List.hd one_source) ~wind_ms:5.0 ~wind_dir_rad:0.0
+      ~cls:P.D ~rx:1000.0 ~ry:0.0
+  in
+  let up =
+    P.concentration ~src:(List.hd one_source) ~wind_ms:5.0 ~wind_dir_rad:0.0
+      ~cls:P.D ~rx:(-1000.0) ~ry:0.0
+  in
+  checkb "positive downwind" true (down > 0.0);
+  checkf 1e-12 "zero upwind" 0.0 up
+
+let test_plume_centerline_peak () =
+  let c y =
+    P.concentration ~src:(List.hd one_source) ~wind_ms:5.0 ~wind_dir_rad:0.0
+      ~cls:P.D ~rx:1500.0 ~ry:y
+  in
+  checkb "peak on centerline" true (c 0.0 > c 300.0 && c 300.0 > c 900.0)
+
+let test_plume_stability_classes () =
+  (* stable atmospheres (F) keep the plume narrow: higher centerline max far
+     downwind than strongly convective (A) *)
+  let c cls =
+    P.concentration ~src:(List.hd one_source) ~wind_ms:3.0 ~wind_dir_rad:0.0
+      ~cls ~rx:5000.0 ~ry:0.0
+  in
+  checkb "F > A at long range" true (c P.F > c P.A)
+
+let test_plume_dilution_with_wind () =
+  let c u =
+    P.concentration ~src:(List.hd one_source) ~wind_ms:u ~wind_dir_rad:0.0
+      ~cls:P.D ~rx:2000.0 ~ry:0.0
+  in
+  checkb "stronger wind dilutes" true (c 10.0 < c 2.0)
+
+let test_field_and_receptors () =
+  let g =
+    P.field ~cells:32 ~sources:one_source ~wind_ms:4.0 ~wind_dir_rad:0.0
+      ~cls:P.D ()
+  in
+  checkb "field has mass" true (P.max_concentration g > 0.0);
+  checkb "receptor lookup consistent" true
+    (P.at g ~x:2000.0 ~y:0.0 >= P.at g ~x:2000.0 ~y:5000.0);
+  checkb "exceedance fraction in [0,1]" true
+    (let f = P.exceedance_area g ~threshold:10.0 in
+     f >= 0.0 && f <= 1.0)
+
+let test_stability_of_weather () =
+  checkb "sunny calm unstable" true
+    (P.stability_of_weather ~wind_ms:2.0 ~radiation_wm2:700.0 = P.A);
+  checkb "night calm stable" true
+    (P.stability_of_weather ~wind_ms:1.5 ~radiation_wm2:0.0 = P.F);
+  checkb "windy neutral" true
+    (P.stability_of_weather ~wind_ms:8.0 ~radiation_wm2:0.0 = P.D)
+
+let test_sensors () =
+  let g =
+    P.field ~cells:32 ~sources:one_source ~wind_ms:4.0 ~wind_dir_rad:0.0
+      ~cls:P.D ()
+  in
+  let sensors = Sn.deploy ~n:50 ~half_extent_m:10_000.0 () in
+  let readings = Sn.sample_all g sensors in
+  checki "one reading per sensor" 50 (List.length readings);
+  let missing =
+    List.length (List.filter (fun (r : Sn.reading) -> r.Sn.value = None) readings)
+  in
+  checkb "some dropout" true (missing > 0 && missing < 50);
+  checkb "fusion available near site" true
+    (Sn.fused_estimate sensors readings ~x:0.0 ~y:0.0 ~radius_m:8000.0 <> None)
+
+let test_airq_decision_quality_vs_resolution () =
+  let coarse = AF.evaluate ~hours:48 ~cells:16 ~resolution_km:25.0 () in
+  let fine = AF.evaluate ~hours:48 ~cells:64 ~resolution_km:2.5 () in
+  checkb "finer forecast at least as good (f1)" true
+    (fine.AF.f1 >= coarse.AF.f1);
+  checkb "finer grid costs more" true
+    (fine.AF.flops_per_hour > coarse.AF.flops_per_hour)
+
+(* ---- traffic -------------------------------------------------------------------------- *)
+
+module RN = Everest_traffic.Roadnet
+module RT = Everest_traffic.Routing
+module OD = Everest_traffic.Od
+module TS = Everest_traffic.Simulator
+module FC = Everest_traffic.Fcd
+module PR = Everest_traffic.Profiles
+module PT = Everest_traffic.Ptdr
+
+let city () = RN.grid_city ~rows:6 ~cols:6 ()
+
+let test_grid_city_shape () =
+  let g = city () in
+  checki "nodes" 36 g.RN.n_nodes;
+  (* 2 * (rows*(cols-1) + cols*(rows-1)) directed links *)
+  checki "links" (2 * ((6 * 5) + (6 * 5))) (RN.n_links g)
+
+let test_routing_straight_line () =
+  let g = city () in
+  match RT.free_flow g ~src:0 ~dst:5 with
+  | None -> Alcotest.fail "route must exist"
+  | Some p ->
+      checki "five links along the top row" 5 (List.length p.RT.links);
+      checkb "cost = free flow" true
+        (Float.abs (p.RT.cost -. (5.0 *. (400.0 /. 16.7))) < 1e-6)
+
+let test_routing_unreachable () =
+  (* a two-node net with only a link 0 -> 1: no route back *)
+  let net =
+    RN.create ~n_nodes:2
+      [ { RN.link_id = 0; src = 0; dst = 1; length_m = 100.0; lanes = 1;
+          free_speed_ms = 10.0; capacity_vph = 500.0 } ]
+  in
+  checkb "forward exists" true (RT.free_flow net ~src:0 ~dst:1 <> None);
+  checkb "reverse missing" true (RT.free_flow net ~src:1 ~dst:0 = None)
+
+let test_bpr () =
+  let l =
+    { RN.link_id = 0; src = 0; dst = 1; length_m = 1000.0; lanes = 1;
+      free_speed_ms = 10.0; capacity_vph = 1000.0 }
+  in
+  checkf 1e-9 "free flow at zero volume" 100.0 (RN.bpr_time l ~volume_vph:0.0);
+  checkb "congestion slows" true
+    (RN.bpr_time l ~volume_vph:2000.0 > 2.0 *. RN.bpr_time l ~volume_vph:0.0)
+
+let test_simulator_congestion_peaks () =
+  let g = city () in
+  let od = OD.gravity ~n_zones:36 ~total_trips_per_hour:40_000.0 ~cols:6 () in
+  let st = TS.run g od ~periods:24 in
+  (* rush hour (8h) slower than night (3h) *)
+  let night = TS.mean_network_speed st ~period:3 in
+  let peak = TS.mean_network_speed st ~period:8 in
+  checkb "peak congestion" true (peak < night);
+  checkb "some congested links at peak" true (TS.congested_fraction st ~period:8 > 0.0)
+
+let test_od_peak_factor () =
+  checkb "rush hour demand higher" true
+    (OD.peak_factor 8 > 3.0 *. OD.peak_factor 3)
+
+let test_fcd_and_profiles () =
+  let g = city () in
+  let od = OD.gravity ~n_zones:36 ~total_trips_per_hour:30_000.0 ~cols:6 () in
+  let st = TS.run g od ~periods:12 in
+  let pings = FC.generate st ~n_vehicles:400 in
+  checkb "many pings" true (FC.count pings > 2000);
+  let prof = PR.learn g ~periods:12 pings in
+  checkb "coverage reasonable" true (PR.coverage prof > 0.3);
+  let rmse = PR.prediction_rmse prof st in
+  checkb "profiles track simulator speeds" true (rmse < 2.0)
+
+let test_ptdr_distribution () =
+  let g = city () in
+  let od = OD.gravity ~n_zones:36 ~total_trips_per_hour:30_000.0 ~cols:6 () in
+  let st = TS.run g od ~periods:12 in
+  let pings = FC.generate st ~n_vehicles:300 in
+  let prof = PR.learn g ~periods:12 pings in
+  match RT.free_flow g ~src:0 ~dst:35 with
+  | None -> Alcotest.fail "route"
+  | Some route ->
+      let d = PT.monte_carlo g prof route ~depart:(8.0 *. 3600.0) ~n_samples:300 in
+      checkb "p50 <= p90 <= p99" true (d.PT.p50 <= d.PT.p90 && d.PT.p90 <= d.PT.p99);
+      checkb "mean plausible vs free flow" true (d.PT.mean >= route.RT.cost *. 0.8);
+      (* convergence: CI shrinks with samples *)
+      let conv =
+        PT.convergence g prof route ~depart:(8.0 *. 3600.0)
+          ~sample_counts:[ 10; 100; 1000 ]
+      in
+      let ci n = List.assoc n (List.map (fun (n, _, ci) -> (n, ci)) conv) in
+      checkb "CI shrinks" true (ci 1000 < ci 10)
+
+let test_ptdr_alternatives_and_reliability () =
+  let g = city () in
+  let od = OD.gravity ~n_zones:36 ~total_trips_per_hour:30_000.0 ~cols:6 () in
+  let st = TS.run g od ~periods:12 in
+  let pings = FC.generate st ~n_vehicles:300 in
+  let prof = PR.learn g ~periods:12 pings in
+  let alts = PT.alternatives ~k:3 g prof ~src:0 ~dst:35 ~period:8 in
+  checkb "found alternatives" true (List.length alts >= 2);
+  match PT.reliable_route g prof alts ~depart:(8.0 *. 3600.0) with
+  | Some (_, q) -> checkb "reliable quantile positive" true (q > 0.0)
+  | None -> Alcotest.fail "reliable route"
+
+let test_traffic_predictor () =
+  let g = city () in
+  let od = OD.gravity ~n_zones:36 ~total_trips_per_hour:40_000.0 ~cols:6 () in
+  (* two identical days: train on day 1, evaluate on day 2 *)
+  let st = TS.run g od ~periods:48 in
+  let m = Everest_traffic.Predictor.train ~epochs:40 st ~train_periods:24 in
+  let e = Everest_traffic.Predictor.evaluate m st ~from_period:24 ~to_period:47 in
+  checkb "beats free-flow baseline" true
+    (e.Everest_traffic.Predictor.model_rmse
+    < e.Everest_traffic.Predictor.freeflow_rmse);
+  checkb "rmse sane" true (e.Everest_traffic.Predictor.model_rmse < 3.0)
+
+let test_time_dependent_routing () =
+  let g = city () in
+  let od = OD.gravity ~n_zones:36 ~total_trips_per_hour:40_000.0 ~cols:6 () in
+  let st = TS.run g od ~periods:24 in
+  let cost period (l : RN.link) =
+    l.RN.length_m /. TS.speed st ~period ~link:l.RN.link_id
+  in
+  let period_of t = int_of_float (t /. 3600.0) mod 24 in
+  let at_night =
+    RT.time_dependent g ~period_of ~cost ~src:0 ~dst:35 ~depart:(3.0 *. 3600.0)
+  in
+  let at_peak =
+    RT.time_dependent g ~period_of ~cost ~src:0 ~dst:35 ~depart:(8.0 *. 3600.0)
+  in
+  match (at_night, at_peak) with
+  | Some n, Some p -> checkb "peak trip slower" true (p.RT.cost >= n.RT.cost)
+  | _ -> Alcotest.fail "routes must exist"
+
+let () =
+  Alcotest.run "everest_usecases"
+    [
+      ( "energy-weather",
+        [ Alcotest.test_case "truth shape" `Quick test_weather_truth_shape;
+          Alcotest.test_case "deterministic" `Quick test_weather_deterministic;
+          Alcotest.test_case "resolution fidelity" `Quick test_resolution_fidelity;
+          Alcotest.test_case "cost scaling" `Quick test_member_cost_scales ] );
+      ( "energy-farm",
+        [ Alcotest.test_case "power curve" `Quick test_power_curve;
+          Alcotest.test_case "farm" `Quick test_farm_power ] );
+      ( "energy-forecast",
+        [ Alcotest.test_case "beats baselines" `Slow test_forecast_beats_baselines;
+          Alcotest.test_case "resolution helps" `Slow test_resolution_improves_forecast ] );
+      ( "airq",
+        [ Alcotest.test_case "downwind" `Quick test_plume_downwind;
+          Alcotest.test_case "centerline" `Quick test_plume_centerline_peak;
+          Alcotest.test_case "stability" `Quick test_plume_stability_classes;
+          Alcotest.test_case "dilution" `Quick test_plume_dilution_with_wind;
+          Alcotest.test_case "field" `Quick test_field_and_receptors;
+          Alcotest.test_case "weather->stability" `Quick test_stability_of_weather;
+          Alcotest.test_case "sensors" `Quick test_sensors;
+          Alcotest.test_case "decision vs resolution" `Slow test_airq_decision_quality_vs_resolution ] );
+      ( "traffic",
+        [ Alcotest.test_case "grid city" `Quick test_grid_city_shape;
+          Alcotest.test_case "routing" `Quick test_routing_straight_line;
+          Alcotest.test_case "unreachable" `Quick test_routing_unreachable;
+          Alcotest.test_case "bpr" `Quick test_bpr;
+          Alcotest.test_case "congestion peaks" `Quick test_simulator_congestion_peaks;
+          Alcotest.test_case "od peaks" `Quick test_od_peak_factor;
+          Alcotest.test_case "fcd+profiles" `Quick test_fcd_and_profiles;
+          Alcotest.test_case "ptdr distribution" `Quick test_ptdr_distribution;
+          Alcotest.test_case "alternatives" `Quick test_ptdr_alternatives_and_reliability;
+          Alcotest.test_case "predictor" `Slow test_traffic_predictor;
+          Alcotest.test_case "time-dependent" `Quick test_time_dependent_routing ] );
+    ]

@@ -1,0 +1,268 @@
+(* Tests for everest_workflow: DAG construction, schedulers, and plan
+   execution on the simulated platform. *)
+
+open Everest_workflow
+open Everest_platform
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let chain n =
+  Dag.create "chain"
+    (List.init n (fun i ->
+         Dag.task ~id:i ~name:(Printf.sprintf "c%d" i)
+           ~inputs:(if i = 0 then [] else [ i - 1 ])
+           ~out_bytes:4096
+           ~impls:[ Dag.Cpu { flops = 1e9; bytes = 4096.0; threads = 1 } ]
+           ()))
+
+(* ---- dag -------------------------------------------------------------------- *)
+
+let test_dag_validation () =
+  (match
+     Dag.create "bad"
+       [ Dag.task ~id:0 ~name:"a" ~inputs:[ 0 ] ~out_bytes:1 ~impls:[] () ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "self-dependency must be rejected");
+  let d = Dag.fork_join ~width:4 ~worker_flops:1e9 ~worker_bytes:1e6 ~chunk_bytes:1024 () in
+  checki "fork-join size" 6 (Dag.size d);
+  checki "join inputs" 4 (List.length (Dag.find d 5).Dag.inputs);
+  checki "source consumers" 4 (List.length (Dag.consumers d 0))
+
+let test_layered_generator () =
+  let d = Dag.layered ~seed:7 ~layers:4 ~width:5 ~flops:1e8 ~bytes:1e5 () in
+  checki "20 tasks" 20 (Dag.size d);
+  (* deterministic *)
+  let d2 = Dag.layered ~seed:7 ~layers:4 ~width:5 ~flops:1e8 ~bytes:1e5 () in
+  checkb "deterministic" true
+    (Array.for_all2
+       (fun (a : Dag.task) b -> a.Dag.inputs = b.Dag.inputs)
+       d.Dag.tasks d2.Dag.tasks)
+
+(* ---- schedulers ---------------------------------------------------------------- *)
+
+let test_all_policies_execute () =
+  List.iter
+    (fun policy ->
+      let d = Dag.layered ~seed:3 ~layers:3 ~width:4 ~flops:1e9 ~bytes:1e5 () in
+      let _, stats = Executor.run_on_demonstrator ~policy d in
+      checkb (policy ^ " completes") true (stats.Executor.makespan > 0.0);
+      checkb (policy ^ " all tasks finish") true
+        (Array.for_all (fun f -> f >= 0.0) stats.Executor.task_finish))
+    [ "round-robin"; "min-load"; "heft"; "heft-locality" ]
+
+let test_chain_respects_deps () =
+  let d = chain 5 in
+  let _, stats = Executor.run_on_demonstrator ~policy:"heft" d in
+  let f = stats.Executor.task_finish in
+  for i = 1 to 4 do
+    checkb "monotone chain" true (f.(i) > f.(i - 1))
+  done
+
+let test_locality_beats_round_robin_on_heavy_data () =
+  (* Large intermediate data: shipping it around dominates, so the
+     locality-aware plan should beat blind round-robin. *)
+  let d = Dag.layered ~seed:11 ~layers:5 ~width:4 ~flops:1e8 ~bytes:5e8 () in
+  let _, rr = Executor.run_on_demonstrator ~policy:"round-robin" d in
+  let _, loc = Executor.run_on_demonstrator ~policy:"heft-locality" d in
+  checkb "locality wins" true
+    (loc.Executor.makespan < rr.Executor.makespan);
+  checkb "locality moves less data" true
+    (loc.Executor.bytes_moved <= rr.Executor.bytes_moved)
+
+let test_pinned_source () =
+  let d =
+    Dag.create "pinned"
+      [ Dag.task ~id:0 ~name:"sensor" ~inputs:[] ~out_bytes:1024
+          ~pinned:(Some "ep0")
+          ~impls:[ Dag.Cpu { flops = 1e6; bytes = 1024.0; threads = 1 } ]
+          ();
+        Dag.task ~id:1 ~name:"proc" ~inputs:[ 0 ] ~out_bytes:64
+          ~impls:[ Dag.Cpu { flops = 1e8; bytes = 1024.0; threads = 1 } ]
+          () ]
+  in
+  let c = Cluster.everest_demonstrator () in
+  let plan = Scheduler.locality c d in
+  Alcotest.check Alcotest.string "source stays on endpoint" "ep0"
+    plan.Scheduler.assignments.(0).Scheduler.node
+
+let test_fpga_impl_selected_when_faster () =
+  (* a kernel with a drastically better FPGA estimate must land on an FPGA
+     node under HEFT *)
+  let est =
+    { Everest_hls.Estimate.area = Everest_hls.Estimate.zero_area;
+      cycles = 1000; ii = 1; clock_mhz = 250.0; dynamic_power_w = 5.0 }
+  in
+  let d =
+    Dag.create "hw"
+      [ Dag.task ~id:0 ~name:"k" ~inputs:[] ~out_bytes:1024
+          ~impls:
+            [ Dag.Cpu { flops = 1e12; bytes = 1e6; threads = 1 };
+              Dag.Fpga { bitstream = "k"; estimate = est; in_bytes = 4096; out_bytes = 1024 } ]
+          () ]
+  in
+  let c = Cluster.everest_demonstrator () in
+  let plan = Scheduler.heft c d in
+  (match plan.Scheduler.assignments.(0).Scheduler.impl with
+  | Dag.Fpga _ -> ()
+  | Dag.Cpu _ -> Alcotest.fail "expected FPGA variant chosen");
+  let stats = Executor.execute c plan in
+  checkb "fast finish" true (stats.Executor.makespan < 0.5)
+
+let test_executor_stats () =
+  let d = Dag.fork_join ~width:8 ~worker_flops:1e9 ~worker_bytes:1e6 ~chunk_bytes:65536 () in
+  let _, stats = Executor.run_on_demonstrator ~policy:"min-load" d in
+  checkb "energy accounted" true (stats.Executor.energy_j > 0.0);
+  let total_tasks =
+    List.fold_left (fun acc (_, k) -> acc + k) 0 stats.Executor.per_node_tasks
+  in
+  checki "all tasks counted" (Dag.size d) total_tasks
+
+(* ---- fault tolerance ------------------------------------------------------------ *)
+
+let test_failure_recovery () =
+  (* run a wide fork-join; kill one cloud node early; everything must still
+     complete, with retries or diversions recorded *)
+  let d = Dag.fork_join ~width:16 ~worker_flops:5e9 ~worker_bytes:1e6 ~chunk_bytes:65536 () in
+  let _, clean = Executor.run_on_demonstrator ~policy:"min-load" d in
+  let _, faulty =
+    Executor.run_on_demonstrator ~policy:"min-load"
+      ~failures:[ ("cf0", 1e-4); ("cf1", 1e-4) ]
+      d
+  in
+  checkb "all tasks complete despite failures" true
+    (Array.for_all (fun f -> f >= 0.0) faulty.Executor.task_finish);
+  checkb "failures cost time" true
+    (faulty.Executor.makespan >= clean.Executor.makespan)
+
+let test_failure_mid_run_retries () =
+  (* a long task on p9 that dies mid-execution must be retried elsewhere *)
+  let d =
+    Dag.create "long"
+      [ Dag.task ~id:0 ~name:"big" ~inputs:[] ~out_bytes:64
+          ~pinned:(Some "p9")
+          ~impls:[ Dag.Cpu { flops = 1e12; bytes = 1.0; threads = 1 } ]
+          () ]
+  in
+  let c = Cluster.everest_demonstrator () in
+  let plan = Scheduler.min_load c d in
+  let stats = Executor.execute ~failures:[ ("p9", 0.5) ] c plan in
+  checkb "task finished" true (stats.Executor.task_finish.(0) >= 0.0);
+  checkb "was retried" true (stats.Executor.retries >= 1)
+
+let test_all_nodes_failed () =
+  let d = chain 2 in
+  let c = Cluster.create [ Cluster.power9_node "p9" ] in
+  let plan = Scheduler.min_load c d in
+  match Executor.execute ~failures:[ ("p9", 0.0) ] c plan with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "must fail when no node survives"
+
+(* ---- data placement --------------------------------------------------------------- *)
+
+let test_placement_replicates_hot_data () =
+  (* one producer on the cloud, many consumers pinned to distinct edge
+     nodes over slow links: parallel replication must beat serial pulls *)
+  let width = 4 in
+  let d =
+    Dag.create "fanout"
+      (Dag.task ~id:0 ~name:"src" ~inputs:[] ~out_bytes:50_000_000
+         ~pinned:(Some "p9")
+         ~impls:[ Dag.Cpu { flops = 1e6; bytes = 5e7; threads = 1 } ]
+         ()
+      :: List.init width (fun i ->
+             Dag.task ~id:(i + 1)
+               ~name:(Printf.sprintf "edge%d_task" i)
+               ~inputs:[ 0 ] ~out_bytes:100
+               ~pinned:(Some (Printf.sprintf "edge%d" i))
+               ~impls:[ Dag.Cpu { flops = 1e6; bytes = 100.0; threads = 1 } ]
+               ()))
+  in
+  let c = Cluster.everest_demonstrator ~edges:width () in
+  let plan = Scheduler.locality c d in
+  let allocs = Placement.optimize c plan in
+  checki "one shared object" 1 (List.length allocs);
+  let a = List.hd allocs in
+  checkb "replication chosen" true
+    (a.Placement.decision = Placement.Replicate_to_consumers);
+  checkb "saving positive" true (Placement.saving allocs > 0.3)
+
+let test_placement_keeps_local_data () =
+  (* producer and single consumer co-located: nothing to optimize *)
+  let d = chain 2 in
+  let c = Cluster.create [ Cluster.power9_node "p9" ] in
+  let plan = Scheduler.min_load c d in
+  let allocs = Placement.optimize c plan in
+  List.iter
+    (fun (a : Placement.allocation) ->
+      checkb "keep at producer" true (a.Placement.decision = Placement.Keep_at_producer);
+      checkb "zero cost locally" true (a.Placement.chosen_cost_s = 0.0))
+    allocs
+
+let test_placement_never_worse () =
+  let d = Dag.layered ~seed:21 ~layers:4 ~width:4 ~flops:1e8 ~bytes:1e7 () in
+  let c = Cluster.everest_demonstrator () in
+  List.iter
+    (fun policy ->
+      let plan = (Option.get (Scheduler.by_name policy)) c d in
+      let allocs = Placement.optimize c plan in
+      checkb (policy ^ ": chosen <= naive") true
+        (Placement.total_chosen allocs <= Placement.total_pull allocs +. 1e-12))
+    [ "round-robin"; "min-load"; "heft"; "heft-locality" ]
+
+(* property: every plan assigns real nodes and FPGA impls only where FPGAs
+   exist (modulo pinned fallbacks, which keep the first impl) *)
+let prop_plans_well_formed =
+  QCheck.Test.make ~count:20 ~name:"plans reference existing, capable nodes"
+    QCheck.(pair (int_range 2 4) (int_range 2 5))
+    (fun (layers, width) ->
+      let d = Dag.layered ~seed:(layers + (width * 13)) ~layers ~width ~flops:1e8 ~bytes:1e5 () in
+      let c = Cluster.everest_demonstrator () in
+      List.for_all
+        (fun mk ->
+          let plan = mk c d in
+          Array.for_all
+            (fun (a : Scheduler.assignment) ->
+              let node = Cluster.find_node c a.Scheduler.node in
+              match a.Scheduler.impl with
+              | Dag.Cpu _ -> true
+              | Dag.Fpga _ -> Node.has_fpga node)
+            plan.Scheduler.assignments)
+        [ Scheduler.round_robin; Scheduler.min_load;
+          Scheduler.heft ~locality_aware:false; Scheduler.locality ])
+
+(* property: makespan is at least the best single-task time and finite *)
+let prop_makespan_sane =
+  QCheck.Test.make ~count:25 ~name:"makespan finite and positive"
+    QCheck.(pair (int_range 2 5) (int_range 2 6))
+    (fun (layers, width) ->
+      let d = Dag.layered ~seed:(layers * 10 + width) ~layers ~width ~flops:1e8 ~bytes:1e4 () in
+      let _, stats = Executor.run_on_demonstrator ~policy:"heft" d in
+      Float.is_finite stats.Executor.makespan && stats.Executor.makespan > 0.0)
+
+let () =
+  Alcotest.run "everest_workflow"
+    [
+      ( "dag",
+        [ Alcotest.test_case "validation" `Quick test_dag_validation;
+          Alcotest.test_case "layered gen" `Quick test_layered_generator ] );
+      ( "schedulers",
+        [ Alcotest.test_case "all policies" `Quick test_all_policies_execute;
+          Alcotest.test_case "chain deps" `Quick test_chain_respects_deps;
+          Alcotest.test_case "locality wins" `Quick test_locality_beats_round_robin_on_heavy_data;
+          Alcotest.test_case "pinned source" `Quick test_pinned_source;
+          Alcotest.test_case "fpga variant" `Quick test_fpga_impl_selected_when_faster ] );
+      ( "executor",
+        [ Alcotest.test_case "stats" `Quick test_executor_stats;
+          QCheck_alcotest.to_alcotest prop_makespan_sane;
+          QCheck_alcotest.to_alcotest prop_plans_well_formed ] );
+      ( "placement",
+        [ Alcotest.test_case "replicates hot data" `Quick test_placement_replicates_hot_data;
+          Alcotest.test_case "keeps local" `Quick test_placement_keeps_local_data;
+          Alcotest.test_case "never worse" `Quick test_placement_never_worse ] );
+      ( "fault-tolerance",
+        [ Alcotest.test_case "recovery" `Quick test_failure_recovery;
+          Alcotest.test_case "mid-run retry" `Quick test_failure_mid_run_retries;
+          Alcotest.test_case "total failure" `Quick test_all_nodes_failed ] );
+    ]
