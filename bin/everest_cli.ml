@@ -7,12 +7,16 @@
      everest_cli serve [--requests N] [--goal time|energy]
          adaptively serve the hot kernel through the virtualized runtime
      everest_cli hls [--unroll U] [--dift]
-         synthesize the demo kernel and print the HLS report + RTL sketch  *)
+         synthesize the demo kernel and print the HLS report + RTL sketch
+     everest_cli telemetry [--trace-out F] [--metrics-out F] [--format t|p]
+         run the demonstrator workflow + adaptive serving fully
+         instrumented; emit a Chrome trace-event JSON and a metrics dump  *)
 
 open Cmdliner
 module Sdk = Everest.Sdk
 module Dsl = Everest_dsl
 module TE = Everest_dsl.Tensor_expr
+module Tel = Everest_telemetry
 
 let demo_graph n =
   let g = Sdk.workflow "demo" in
@@ -141,9 +145,162 @@ let hls_cmd =
   Cmd.v (Cmd.info "hls" ~doc:"Synthesize the demo kernel with the HLS flow.")
     Term.(const run $ unroll $ dift $ rtl)
 
+(* ---- telemetry ------------------------------------------------------------- *)
+
+(* Runs the full instrumented flow: compile (wall-clock spans), the
+   demonstrator workflow under the executor (simulated-time spans, one track
+   per node) and a closed-loop adaptive serving phase, then emits one Chrome
+   trace with the three processes plus a metrics dump.  The headline
+   executor numbers are printed from both stats and the metrics registry so
+   the two accounts can be compared; they must agree exactly. *)
+let telemetry_cmd =
+  let size =
+    Arg.(value & opt int 128 & info [ "size" ] ~docv:"N" ~doc:"Tensor size.")
+  in
+  let policy =
+    Arg.(
+      value & opt string "heft-locality"
+      & info [ "policy" ] ~doc:"Scheduling policy for the workflow phase.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 50
+      & info [ "requests" ] ~doc:"Closed-loop requests in the serving phase.")
+  in
+  let kill =
+    let node_time =
+      let parse s =
+        match String.rindex_opt s ':' with
+        | Some i -> (
+            let node = String.sub s 0 i
+            and t = String.sub s (i + 1) (String.length s - i - 1) in
+            match float_of_string_opt t with
+            | Some t when node <> "" -> Ok (node, t)
+            | _ -> Error (`Msg "expected NODE:TIME, e.g. cf0:0.0001")
+          )
+        | None -> Error (`Msg "expected NODE:TIME, e.g. cf0:0.0001")
+      in
+      let print ppf (n, t) = Format.fprintf ppf "%s:%g" n t in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value & opt (some node_time) None
+      & info [ "kill" ] ~docv:"NODE:T"
+          ~doc:"Fail node NODE at simulated time T (exercises retries).")
+  in
+  let trace_out =
+    Arg.(
+      value & opt string "everest_trace.json"
+      & info [ "trace-out" ] ~doc:"Chrome trace-event JSON output file.")
+  in
+  let metrics_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~doc:"Metrics dump file (default: stdout).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("prometheus", `Prom) ]) `Text
+      & info [ "format" ] ~doc:"Metrics dump format: text, prometheus.")
+  in
+  let run size policy requests kill trace_out metrics_out format =
+    let registry = Tel.Metrics.default in
+    Tel.Metrics.reset registry;
+    (* 1. compile, tracing the DSE stages on the wall clock *)
+    let compile_tracer = Tel.Trace.create () in
+    let app =
+      Tel.Probe.with_tracer compile_tracer (fun () ->
+          Sdk.compile (demo_graph size))
+    in
+    (* 2. demonstrator workflow under the executor, on simulated time *)
+    let c = Sdk.Platform.Cluster.everest_demonstrator () in
+    let exec_tracer = Sdk.Runtime.Orchestrator.sim_tracer c in
+    let failures = match kill with None -> [] | Some f -> [ f ] in
+    let plan =
+      match Sdk.Workflow.Scheduler.by_name policy with
+      | Some f -> f c app.Everest_compiler.Pipeline.dag
+      | None -> invalid_arg ("unknown scheduling policy " ^ policy)
+    in
+    let stats =
+      Sdk.Workflow.Executor.execute ~failures ~tracer:exec_tracer ~registry c
+        plan
+    in
+    (* 3. adaptive serving phase (Fig. 2 loop), its own simulated clock *)
+    let served = Sdk.serve ~n:requests ~telemetry:true app ~kernel:"mm" in
+    (* 4. one Chrome trace, three processes *)
+    Tel.Chrome_trace.write_processes trace_out
+      [ Tel.Chrome_trace.of_tracer ~pid:1 ~process_name:"compile (wall)"
+          compile_tracer;
+        Tel.Chrome_trace.of_tracer ~pid:2 ~process_name:"executor (sim)"
+          exec_tracer;
+        Tel.Chrome_trace.of_spans ~pid:3 ~process_name:"orchestrator (sim)"
+          served.Sdk.span_log ];
+    (* 5. metrics dump *)
+    let dump =
+      match format with
+      | `Text -> Tel.Metrics.render_text registry
+      | `Prom -> Tel.Metrics.render_prometheus registry
+    in
+    (match metrics_out with
+    | None -> print_string dump
+    | Some f ->
+        let oc = open_out f in
+        output_string oc dump;
+        close_out oc);
+    (* 6. stats vs. telemetry agreement *)
+    let counter name =
+      match
+        Tel.Metrics.find ~registry
+          ~labels:[ ("workflow", "demo") ]
+          name
+      with
+      | Some { Tel.Metrics.value = Tel.Metrics.Counter c; _ } ->
+          int_of_float !c
+      | _ -> -1
+    in
+    let spans = stats.Sdk.Workflow.Executor.span_log in
+    Format.printf
+      "@.workflow phase (policy=%s): makespan=%.4gs energy=%.4gJ@." policy
+      stats.Sdk.Workflow.Executor.makespan
+      stats.Sdk.Workflow.Executor.energy_j;
+    let agree name from_stats from_metrics from_trace =
+      Format.printf "  %-12s stats=%-10d metrics=%-10d trace=%-10d %s@." name
+        from_stats from_metrics from_trace
+        (if from_stats = from_metrics && from_metrics = from_trace then "agree"
+         else "MISMATCH");
+      from_stats = from_metrics && from_metrics = from_trace
+    in
+    let ok =
+      List.for_all Fun.id
+        [ agree "tasks"
+            (Array.length stats.Sdk.Workflow.Executor.task_finish)
+            (counter "workflow_tasks_completed_total")
+            (Sdk.Workflow.Executor.trace_tasks_completed spans);
+          agree "retries" stats.Sdk.Workflow.Executor.retries
+            (counter "workflow_task_retries_total")
+            (Sdk.Workflow.Executor.trace_retries spans);
+          agree "bytes_moved" stats.Sdk.Workflow.Executor.bytes_moved
+            (counter "workflow_bytes_moved_total")
+            (Sdk.Workflow.Executor.trace_bytes_moved spans) ]
+    in
+    Format.printf
+      "serving phase: %d requests, mean latency %.3gs, %d switches@."
+      served.Sdk.requests served.Sdk.mean_latency_s served.Sdk.switches;
+    Format.printf "trace: %s (open in chrome://tracing or ui.perfetto.dev)@."
+      trace_out;
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:"Run the instrumented demonstrator and emit trace + metrics.")
+    Term.(
+      const run $ size $ policy $ requests $ kill $ trace_out $ metrics_out
+      $ format)
+
 let () =
   let doc = "EVEREST SDK: compile, run and adapt HPDA applications." in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "everest_cli" ~doc)
-          [ compile_cmd; run_cmd; serve_cmd; hls_cmd ]))
+          [ compile_cmd; run_cmd; serve_cmd; hls_cmd; telemetry_cmd ]))

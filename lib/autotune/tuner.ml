@@ -53,12 +53,16 @@ let select (t : t) ~features =
     | _ -> fresh
   in
   t.selections <- t.selections + 1;
+  let kernel_labels = [ ("kernel", t.knowledge.Knowledge.kernel) ] in
+  Everest_telemetry.Probe.count ~labels:kernel_labels "tuner_selections_total";
   (match (t.last, d) with
   | Some prev, Some next
     when not
            (String.equal prev.Selector.point.Knowledge.variant
               next.Selector.point.Knowledge.variant) ->
-      t.switches <- t.switches + 1
+      t.switches <- t.switches + 1;
+      Everest_telemetry.Probe.count ~labels:kernel_labels
+        "tuner_switches_total"
   | _ -> ());
   t.last <- d;
   d
@@ -66,6 +70,16 @@ let select (t : t) ~features =
 let observe (t : t) ~variant ~features ~measured =
   Queue.push (variant, measured) t.history;
   if Queue.length t.history > 1000 then ignore (Queue.pop t.history);
+  (* observed-metric distributions per variant: the monitoring feed of the
+     adaptation loop (latency under the default "time_s" goal) *)
+  List.iter
+    (fun (metric, v) ->
+      Everest_telemetry.Probe.observe
+        ~labels:
+          [ ("kernel", t.knowledge.Knowledge.kernel);
+            ("variant", variant) ]
+        ("tuner_observed_" ^ metric) v)
+    measured;
   Knowledge.observe ~alpha:t.alpha t.knowledge ~variant ~features ~measured
 
 (* One closed-loop step: select, execute via [run], feed the measurement

@@ -5,6 +5,8 @@
    estimations run) and result quality that the middle-end manages. *)
 
 open Everest_dsl
+module Probe = Everest_telemetry.Probe
+module Trace = Everest_telemetry.Trace
 
 type result = {
   explored : int;  (* candidate evaluations performed *)
@@ -13,28 +15,39 @@ type result = {
   best_energy : Variants.variant option;
 }
 
-let summarize explored vs =
+let summarize ?(strategy = "exhaustive") explored vs =
   let best f =
     List.fold_left
       (fun acc v ->
         match acc with Some b when f b <= f v -> acc | _ -> Some v)
       None vs
   in
-  {
-    explored;
-    variants = Variants.pareto vs;
-    best_time = best (fun v -> v.Variants.time_s);
-    best_energy = best (fun v -> v.Variants.energy_j);
-  }
+  let r =
+    {
+      explored;
+      variants = Variants.pareto vs;
+      best_time = best (fun v -> v.Variants.time_s);
+      best_energy = best (fun v -> v.Variants.energy_j);
+    }
+  in
+  let labels = [ ("strategy", strategy) ] in
+  Probe.count ~labels ~by:(float_of_int explored) "dse_evaluations_total";
+  Probe.gauge_set ~labels "dse_pareto_size"
+    (float_of_int (List.length r.variants));
+  r
 
 let exhaustive ?(target = Variants.default_target) ?(annots = [])
     (e : Tensor_expr.expr) : result =
-  let vs = Variants.generate ~target ~annots e in
-  summarize (List.length vs) vs
+  Probe.time_block ~labels:[ ("stage", "exhaustive") ] "dse_stage"
+    (fun () ->
+      let vs = Variants.generate ~target ~annots e in
+      summarize ~strategy:"exhaustive" (List.length vs) vs)
 
 (* Random subset of the full space: [budget] samples, deterministic seed. *)
 let sampled ?(target = Variants.default_target) ?(annots = []) ?(seed = 17)
     ~budget (e : Tensor_expr.expr) : result =
+  Probe.time_block ~labels:[ ("stage", "sampled") ] "dse_stage" @@ fun () ->
+  let summarize = summarize ~strategy:"sampled" in
   let all = Variants.generate ~target ~annots e in
   let n = List.length all in
   if budget >= n then summarize n all
@@ -59,6 +72,11 @@ let sampled ?(target = Variants.default_target) ?(annots = []) ?(seed = 17)
    exhaustive search. *)
 let greedy ?(target = Variants.default_target) ?(annots = [])
     (e : Tensor_expr.expr) : result =
+  Probe.time_block ~labels:[ ("stage", "greedy") ] "dse_stage" @@ fun () ->
+  (* per-axis timing: each coordinate sweep is its own probe stage *)
+  let stage name f =
+    Probe.time_block ~labels:[ ("stage", "greedy_" ^ name) ] "dse_stage" f
+  in
   let explored = ref 0 in
   let eval (p : Cost_model.sw_params) =
     incr explored;
@@ -81,35 +99,42 @@ let greedy ?(target = Variants.default_target) ?(annots = [])
   in
   (* threads axis *)
   let current =
-    sweep current
-      (List.map (fun t -> { (params current) with Cost_model.threads = t })
-         target.Variants.sw_threads)
+    stage "threads" (fun () ->
+        sweep current
+          (List.map (fun t -> { (params current) with Cost_model.threads = t })
+             target.Variants.sw_threads))
   in
   (* tile axis (only meaningful for contractions) *)
   let current =
     if Cost_model.has_contraction e then
-      sweep current
-        (List.map
-           (fun t -> { (params current) with Cost_model.tile = Some t })
-           target.Variants.sw_tiles)
+      stage "tile" (fun () ->
+          sweep current
+            (List.map
+               (fun t -> { (params current) with Cost_model.tile = Some t })
+               target.Variants.sw_tiles))
     else current
   in
   (* second threads pass: tiling changes the compute/memory balance *)
   let current =
-    sweep current
-      (List.map (fun t -> { (params current) with Cost_model.threads = t })
-         target.Variants.sw_threads)
+    stage "rethreads" (fun () ->
+        sweep current
+          (List.map (fun t -> { (params current) with Cost_model.threads = t })
+             target.Variants.sw_threads))
   in
   (* layout axis *)
   let current =
-    sweep current [ { (params current) with Cost_model.layout = Cost_model.Soa } ]
+    stage "layout" (fun () ->
+        sweep current
+          [ { (params current) with Cost_model.layout = Cost_model.Soa } ])
   in
   (* hardware candidates *)
-  let hw = Variants.hw_variants target ~dift:false e in
+  let hw =
+    stage "hw" (fun () -> Variants.hw_variants target ~dift:false e)
+  in
   explored := !explored + List.length hw;
   ignore annots;
   let final = List.fold_left better current hw in
-  summarize !explored [ final ]
+  summarize ~strategy:"greedy" !explored [ final ]
 
 (* Quality of a strategy versus the exhaustive oracle: ratio of achieved
    best time to true best time (1.0 = optimal). *)

@@ -10,7 +10,8 @@ type result = {
   best_energy : Variants.variant option;
 }
 
-val summarize : int -> Variants.variant list -> result
+(** [strategy] labels the [dse_*] telemetry metrics the summary emits. *)
+val summarize : ?strategy:string -> int -> Variants.variant list -> result
 
 (** Evaluate the whole space (the oracle). *)
 val exhaustive :

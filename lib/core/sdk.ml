@@ -65,10 +65,11 @@ type served = {
   mean_latency_s : float;
   variant_histogram : (string * int) list;
   switches : int;
+  span_log : Everest_telemetry.Trace.span list;
 }
 
 let serve ?(n = 100) ?(goal = Autotune.Goal.make (Autotune.Goal.Minimize "time_s"))
-    ?slowdown (app : app) ~kernel : served =
+    ?slowdown ?(telemetry = false) (app : app) ~kernel : served =
   let ck =
     match
       List.find_opt
@@ -79,7 +80,10 @@ let serve ?(n = 100) ?(goal = Autotune.Goal.make (Autotune.Goal.Minimize "time_s
     | None -> invalid_arg ("serve: unknown kernel " ^ kernel)
   in
   let cluster = Platform.Cluster.create [ Platform.Cluster.power9_node "p9" ] in
-  let orch = Runtime.Orchestrator.create cluster ~host_name:"p9" in
+  let tracer =
+    if telemetry then Some (Runtime.Orchestrator.sim_tracer cluster) else None
+  in
+  let orch = Runtime.Orchestrator.create ?tracer cluster ~host_name:"p9" in
   let impls =
     List.map
       (fun (v : Compiler.Variants.variant) ->
@@ -107,6 +111,10 @@ let serve ?(n = 100) ?(goal = Autotune.Goal.make (Autotune.Goal.Minimize "time_s
     mean_latency_s = Runtime.Orchestrator.mean_latency log;
     variant_histogram = Runtime.Orchestrator.variant_histogram log;
     switches = dk.Runtime.Orchestrator.tuner.Autotune.Tuner.switches;
+    span_log =
+      (match tracer with
+      | Some t -> Everest_telemetry.Trace.spans t
+      | None -> []);
   }
 
 let pp_run ppf (r : run_stats) =

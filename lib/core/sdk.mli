@@ -57,16 +57,22 @@ type served = {
   mean_latency_s : float;
   variant_histogram : (string * int) list;
   switches : int;
+  span_log : Everest_telemetry.Trace.span list;
+      (** Per-request orchestrator spans in simulated time when
+          [~telemetry:true] was passed to {!serve}; empty otherwise. *)
 }
 
 (** Serve [n] closed-loop requests of one compiled kernel through the
     virtualized runtime with mARGOt selection.  [slowdown req variant]
-    injects contention.
+    injects contention.  [telemetry] records per-request spans into
+    [span_log] (metrics always accumulate in
+    {!Everest_telemetry.Metrics.default}).
     @raise Invalid_argument on unknown kernels. *)
 val serve :
   ?n:int ->
   ?goal:Autotune.Goal.t ->
   ?slowdown:(int -> string -> float) ->
+  ?telemetry:bool ->
   app ->
   kernel:string ->
   served

@@ -63,6 +63,21 @@ let total_energy c =
   let e = elapsed c in
   List.fold_left (fun acc n -> acc +. Node.total_energy n ~elapsed:e) 0.0 c.nodes
 
+(* Snapshot the whole system — engine counters, per-resource contention,
+   transfer totals — into telemetry gauges. *)
+let publish_metrics ?registry c =
+  let module M = Everest_telemetry.Metrics in
+  Desim.publish ?registry c.sim;
+  List.iter
+    (fun (n : Node.t) ->
+      Desim.publish_resource ?registry n.Node.cores;
+      List.iter
+        (fun (d : Node.fpga_dev) -> Desim.publish_resource ?registry d.Node.slots)
+        n.Node.fpgas)
+    c.nodes;
+  M.set (M.gauge ?registry "cluster_bytes_moved") (float_of_int c.bytes_moved);
+  M.set (M.gauge ?registry "cluster_transfers") (float_of_int c.transfers)
+
 (* ---- canonical EVEREST systems (Fig. 4) ----------------------------------------- *)
 
 (* POWER9 node with [n] bus-attached (OpenCAPI) FPGAs. *)

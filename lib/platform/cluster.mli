@@ -33,6 +33,10 @@ val elapsed : t -> float
 (** Total energy of all nodes including idle floors over the elapsed time. *)
 val total_energy : t -> float
 
+(** Snapshot the whole system — engine counters, per-resource contention,
+    transfer totals — into telemetry gauges. *)
+val publish_metrics : ?registry:Everest_telemetry.Metrics.registry -> t -> unit
+
 (** {2 Canonical EVEREST systems (Fig. 4)} *)
 
 (** POWER9 node with [n_fpgas] bus-attached (OpenCAPI) FPGAs. *)

@@ -108,18 +108,19 @@ type resource = {
   rname : string;
   capacity : int;
   mutable in_use : int;
-  waiting : (unit -> unit) Queue.t;
+  waiting : (float * (unit -> unit)) Queue.t;  (* enqueue time, continuation *)
   mutable peak : int;
   mutable total_wait_starts : int;
+  mutable total_wait_s : float;  (* summed queue time of granted waiters *)
 }
 
 let resource name capacity =
   if capacity <= 0 then invalid_arg "resource: capacity must be positive";
   { rname = name; capacity; in_use = 0; waiting = Queue.create (); peak = 0;
-    total_wait_starts = 0 }
+    total_wait_starts = 0; total_wait_s = 0.0 }
 
 (* [acquire sim r k] runs [k] as soon as a unit of [r] is free. *)
-let acquire _sim r k =
+let acquire sim r k =
   if r.in_use < r.capacity then begin
     r.in_use <- r.in_use + 1;
     r.peak <- max r.peak r.in_use;
@@ -127,16 +128,18 @@ let acquire _sim r k =
   end
   else begin
     r.total_wait_starts <- r.total_wait_starts + 1;
-    Queue.push k r.waiting
+    Queue.push (sim.now, k) r.waiting
   end
 
-let release _sim r =
+let release sim r =
   if r.in_use <= 0 then invalid_arg (r.rname ^ ": release without acquire");
   if Queue.is_empty r.waiting then r.in_use <- r.in_use - 1
-  else
-    let k = Queue.pop r.waiting in
+  else begin
+    let queued_at, k = Queue.pop r.waiting in
+    r.total_wait_s <- r.total_wait_s +. (sim.now -. queued_at);
     (* hand the unit directly to the next waiter *)
     k ()
+  end
 
 (* Run [work] while holding one unit: acquire, execute for [duration]
    simulated seconds, then release and continue with [k]. *)
@@ -146,5 +149,59 @@ let with_resource sim r ~duration k =
           release sim r;
           k ()))
 
+let resource_name r = r.rname
+let capacity r = r.capacity
+let in_use r = r.in_use
 let queue_length r = Queue.length r.waiting
 let utilization_now r = float_of_int r.in_use /. float_of_int r.capacity
+
+(* ---- contention statistics ------------------------------------------------------ *)
+
+(* Observability accessors: consumers read these, not the mutable fields, so
+   the accounting representation stays free to change. *)
+
+type wait_stats = {
+  ws_name : string;
+  ws_capacity : int;
+  ws_peak : int;  (* highest concurrent occupancy seen *)
+  ws_waits : int;  (* acquisitions that had to queue *)
+  ws_total_wait_s : float;  (* summed simulated queue time *)
+  ws_mean_wait_s : float;  (* over queued acquisitions only *)
+}
+
+let peak r = r.peak
+let wait_count r = r.total_wait_starts
+let total_wait_s r = r.total_wait_s
+
+let mean_wait_s r =
+  (* waiters still queued have not accrued a grant time yet; average over
+     the granted ones *)
+  let granted = r.total_wait_starts - Queue.length r.waiting in
+  if granted <= 0 then 0.0 else r.total_wait_s /. float_of_int granted
+
+let wait_stats r =
+  { ws_name = r.rname; ws_capacity = r.capacity; ws_peak = r.peak;
+    ws_waits = r.total_wait_starts; ws_total_wait_s = r.total_wait_s;
+    ws_mean_wait_s = mean_wait_s r }
+
+(* Publish the engine and resource state into telemetry gauges/histograms of
+   [registry] — the monitoring feed of the self-adaptive loop. *)
+let publish_resource ?registry r =
+  let module M = Everest_telemetry.Metrics in
+  let labels = [ ("resource", r.rname) ] in
+  M.set (M.gauge ?registry ~labels "desim_resource_peak")
+    (float_of_int r.peak);
+  M.set (M.gauge ?registry ~labels "desim_resource_waits")
+    (float_of_int r.total_wait_starts);
+  M.set (M.gauge ?registry ~labels "desim_resource_mean_wait_s")
+    (mean_wait_s r);
+  if r.total_wait_s > 0.0 then
+    M.observe
+      (M.histogram ?registry "desim_resource_wait_s")
+      (mean_wait_s r)
+
+let publish ?registry sim =
+  let module M = Everest_telemetry.Metrics in
+  M.set (M.gauge ?registry "desim_events_executed") (float_of_int sim.executed);
+  M.set (M.gauge ?registry "desim_events_pending") (float_of_int sim.size);
+  M.set (M.gauge ?registry "desim_now_s") sim.now

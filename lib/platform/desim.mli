@@ -27,16 +27,15 @@ val run : ?until:float -> t -> unit
 (** Number of events executed so far. *)
 val executed : t -> int
 
+(** Snapshot engine counters (events executed/pending, simulated now) into
+    telemetry gauges. *)
+val publish : ?registry:Everest_telemetry.Metrics.registry -> t -> unit
+
 (** {2 FIFO resources} *)
 
-type resource = {
-  rname : string;
-  capacity : int;
-  mutable in_use : int;
-  waiting : (unit -> unit) Queue.t;
-  mutable peak : int;
-  mutable total_wait_starts : int;
-}
+(** Contention state is internal; read it through the accessors below so the
+    accounting representation can evolve. *)
+type resource
 
 (** [resource name capacity] models [capacity] interchangeable units. *)
 val resource : string -> int -> resource
@@ -53,5 +52,33 @@ val release : t -> resource -> unit
     callback. *)
 val with_resource : t -> resource -> duration:float -> (unit -> unit) -> unit
 
+val resource_name : resource -> string
+val capacity : resource -> int
+
+(** Units currently held. *)
+val in_use : resource -> int
+
 val queue_length : resource -> int
 val utilization_now : resource -> float
+
+(** {2 Contention statistics} *)
+
+type wait_stats = {
+  ws_name : string;
+  ws_capacity : int;
+  ws_peak : int;  (** highest concurrent occupancy seen *)
+  ws_waits : int;  (** acquisitions that had to queue *)
+  ws_total_wait_s : float;  (** summed simulated queue time *)
+  ws_mean_wait_s : float;  (** over queued-and-granted acquisitions *)
+}
+
+val peak : resource -> int
+val wait_count : resource -> int
+val total_wait_s : resource -> float
+val mean_wait_s : resource -> float
+val wait_stats : resource -> wait_stats
+
+(** Snapshot one resource's contention state into telemetry gauges labeled
+    [resource=<name>]. *)
+val publish_resource :
+  ?registry:Everest_telemetry.Metrics.registry -> resource -> unit

@@ -86,7 +86,7 @@ let pick_device (node : t) =
         (List.fold_left
            (fun best dev ->
              let load (d : fpga_dev) =
-               d.slots.Desim.in_use + Desim.queue_length d.slots
+               Desim.in_use d.slots + Desim.queue_length d.slots
              in
              if load dev < load best then dev else best)
            d rest)

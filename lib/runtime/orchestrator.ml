@@ -9,6 +9,8 @@
 
 open Everest_platform
 open Everest_autotune
+module Trace = Everest_telemetry.Trace
+module Metrics = Everest_telemetry.Metrics
 
 type variant_impl =
   | Sw of { flops : float; bytes : float; threads : int }
@@ -33,10 +35,13 @@ type t = {
   vfpga_mgr : Vfpga.t;
   vctx : Vfpga.vctx option;
   protection : Protection.t;
+  tracer : Trace.t;  (* simulated-clock spans of the request loop *)
+  registry : Metrics.registry;
   mutable kernels : deployed_kernel list;
 }
 
-let create ?(vcpus = 4) (cluster : Cluster.t) ~host_name =
+let create ?(vcpus = 4) ?tracer ?(registry = Metrics.default)
+    (cluster : Cluster.t) ~host_name =
   let host = Cluster.find_node cluster host_name in
   let hyper = Vm.hypervisor host in
   let vm = Vm.spawn hyper ~name:"everest-app" ~vcpus in
@@ -44,8 +49,13 @@ let create ?(vcpus = 4) (cluster : Cluster.t) ~host_name =
   let vctx =
     if Node.has_fpga host then Some (Vfpga.allocate vfpga_mgr ~vm) else None
   in
+  let tracer = Option.value ~default:Trace.noop tracer in
   { cluster; host; hyper; vm; vfpga_mgr; vctx;
-    protection = Protection.create (); kernels = [] }
+    protection = Protection.create (); tracer; registry; kernels = [] }
+
+(* Tracer on the cluster's simulated clock, for [?tracer] at [create]. *)
+let sim_tracer ?capacity (cluster : Cluster.t) =
+  Trace.create ?capacity ~clock:(fun () -> Desim.now cluster.Cluster.sim) ()
 
 let deploy orch ~kname ~impls ~(knowledge : Knowledge.t) ~(goal : Goal.t) =
   (* deployment-time configuration: preload every hardware variant's
@@ -65,6 +75,26 @@ let deploy orch ~kname ~impls ~(knowledge : Knowledge.t) ~(goal : Goal.t) =
 
 let find_kernel orch name =
   List.find (fun k -> String.equal k.kname name) orch.kernels
+
+(* Snapshot the runtime layers — tuner decisions, vFPGA activity, the data
+   protection monitors — into telemetry gauges of the orchestrator's
+   registry. *)
+let publish_metrics orch =
+  let registry = orch.registry in
+  let g ?labels name v = Metrics.set (Metrics.gauge ~registry ?labels name) v in
+  List.iter
+    (fun dk ->
+      let labels = [ ("kernel", dk.kname) ] in
+      g ~labels "tuner_selections" (float_of_int dk.tuner.Tuner.selections);
+      g ~labels "tuner_switches" (float_of_int dk.tuner.Tuner.switches))
+    orch.kernels;
+  g "protection_alerts" (float_of_int orch.protection.Protection.total_alerts);
+  g "protection_dropped_batches"
+    (float_of_int orch.protection.Protection.dropped_batches);
+  g "vfpga_active_contexts"
+    (float_of_int (Vfpga.active_contexts orch.vfpga_mgr));
+  g "vfpga_denied" (float_of_int orch.vfpga_mgr.Vfpga.denied);
+  Cluster.publish_metrics ~registry orch.cluster
 
 (* Execute one variant; [k] receives the measured latency (simulated). *)
 let execute orch (dk : deployed_kernel) ~variant
@@ -110,6 +140,20 @@ let serve orch ~kernel ~n ~policy
     ?(slowdown = fun _req _variant -> 1.0)
     ?(features = fun _req -> []) () =
   let dk = find_kernel orch kernel in
+  let registry = orch.registry in
+  let labels = [ ("kernel", kernel) ] in
+  let m_requests =
+    Metrics.counter ~registry ~labels "orchestrator_requests_total"
+  and m_switches =
+    Metrics.counter ~registry ~labels "orchestrator_variant_switches_total"
+  and m_faults =
+    Metrics.counter ~registry ~labels "orchestrator_protection_faults_total"
+  and h_latency =
+    Metrics.histogram ~registry ~labels "orchestrator_request_latency_s"
+  in
+  let trace_on = not (Trace.is_noop orch.tracer) in
+  let last_variant = ref None in
+  let alerts_before = ref orch.protection.Protection.total_alerts in
   let log = ref [] in
   let rng = ref 123 in
   let pick_random seed_variants =
@@ -118,27 +162,88 @@ let serve orch ~kernel ~n ~policy
   in
   let rec loop req =
     if req >= n then ()
-    else
+    else begin
+      let rspan =
+        if trace_on then
+          Some
+            (Trace.start orch.tracer ~attrs:[ ("req", Trace.I req) ]
+               ("request:" ^ kernel))
+        else None
+      in
+      let parent = Option.map (fun s -> s.Trace.id) rspan in
       let variant =
-        match policy with
-        | Fixed v -> v
-        | Random _ -> pick_random (List.map fst dk.impls)
-        | Adaptive -> (
-            match Tuner.select dk.tuner ~features:(features req) with
-            | Some d -> d.Selector.point.Knowledge.variant
-            | None -> fst (List.hd dk.impls))
+        (* selection is instantaneous in simulated time; record it as a
+           zero-width child so the decision is visible in the trace *)
+        let sspan =
+          if trace_on then
+            Some (Trace.start orch.tracer ?parent "select")
+          else None
+        in
+        let v =
+          match policy with
+          | Fixed v -> v
+          | Random _ -> pick_random (List.map fst dk.impls)
+          | Adaptive -> (
+              match Tuner.select dk.tuner ~features:(features req) with
+              | Some d -> d.Selector.point.Knowledge.variant
+              | None -> fst (List.hd dk.impls))
+        in
+        Option.iter
+          (fun s ->
+            Trace.finish orch.tracer ~attrs:[ ("variant", Trace.S v) ] s)
+          sspan;
+        v
+      in
+      (match !last_variant with
+      | Some prev when not (String.equal prev variant) ->
+          Metrics.inc m_switches
+      | _ -> ());
+      last_variant := Some variant;
+      let espan =
+        if trace_on then
+          Some
+            (Trace.start orch.tracer ?parent
+               ~attrs:[ ("variant", Trace.S variant) ]
+               ("execute:" ^ variant))
+        else None
       in
       execute orch dk ~variant ~slowdown:(slowdown req) (fun latency ->
+          Option.iter (fun s -> Trace.finish orch.tracer s) espan;
           log := { req; variant; latency_s = latency } :: !log;
+          Metrics.inc m_requests;
+          Metrics.observe h_latency latency;
+          let faults = orch.protection.Protection.total_alerts in
+          if faults > !alerts_before then begin
+            Metrics.inc
+              ~by:(float_of_int (faults - !alerts_before))
+              m_faults;
+            alerts_before := faults
+          end;
           (match policy with
           | Adaptive ->
+              let ospan =
+                if trace_on then
+                  Some (Trace.start orch.tracer ?parent "observe")
+                else None
+              in
               Tuner.observe dk.tuner ~variant ~features:(features req)
-                ~measured:[ ("time_s", latency) ]
+                ~measured:[ ("time_s", latency) ];
+              Option.iter (fun s -> Trace.finish orch.tracer s) ospan
           | _ -> ());
+          Option.iter
+            (fun s ->
+              Trace.finish orch.tracer
+                ~attrs:
+                  [ ("variant", Trace.S variant);
+                    ("latency_s", Trace.F latency) ]
+                s)
+            rspan;
           loop (req + 1))
+    end
   in
   loop 0;
   Cluster.run orch.cluster;
+  publish_metrics orch;
   List.rev !log
 
 let total_latency log =

@@ -33,12 +33,32 @@ type t = {
   vfpga_mgr : Vfpga.t;
   vctx : Vfpga.vctx option;
   protection : Protection.t;
+  tracer : Everest_telemetry.Trace.t;
+      (** Request-loop spans in simulated time (no-op by default). *)
+  registry : Everest_telemetry.Metrics.registry;
   mutable kernels : deployed_kernel list;
 }
 
 (** Stand up the runtime on a cluster node: spawns the application VM and,
-    when the host has FPGAs, a vFPGA context. *)
-val create : ?vcpus:int -> Cluster.t -> host_name:string -> t
+    when the host has FPGAs, a vFPGA context.  Pass [tracer] (usually
+    {!sim_tracer} on the same cluster) to record per-request spans;
+    [registry] (default {!Everest_telemetry.Metrics.default}) receives the
+    [orchestrator_*], [tuner_*] and [protection_*] metrics. *)
+val create :
+  ?vcpus:int ->
+  ?tracer:Everest_telemetry.Trace.t ->
+  ?registry:Everest_telemetry.Metrics.registry ->
+  Cluster.t ->
+  host_name:string ->
+  t
+
+(** A tracer driven by the cluster's simulated clock. *)
+val sim_tracer : ?capacity:int -> Cluster.t -> Everest_telemetry.Trace.t
+
+(** Snapshot the runtime layers — tuner decisions, vFPGA activity, the data
+    protection monitors — into telemetry gauges (also called at the end of
+    every [serve]). *)
+val publish_metrics : t -> unit
 
 (** Deploy a kernel with its variants; hardware bitstreams are preloaded
     (deployment-time configuration). *)

@@ -1,0 +1,26 @@
+(* Time sources for telemetry.
+
+   A clock is just a function returning "now" in seconds.  Tracing is
+   parameterized over it so the same span machinery records either host wall
+   time (compiler/DSE instrumentation) or Desim simulated time (executor and
+   orchestrator instrumentation) — the EVEREST runtime adapts on *simulated*
+   time, so its traces must be in that domain too. *)
+
+type t = unit -> float
+
+(* Host wall clock. *)
+let wall : t = Unix.gettimeofday
+
+(* Monotonic process clock (never jumps backwards with NTP adjustments);
+   suitable for durations, not absolute timestamps. *)
+let monotonic : t = Sys.time
+
+(* A manually advanced clock for deterministic tests. *)
+type manual = { mutable now_s : float }
+
+let manual ?(start = 0.0) () = { now_s = start }
+let advance m dt = m.now_s <- m.now_s +. dt
+let of_manual m : t = fun () -> m.now_s
+
+(* Adapt any "now" accessor, e.g. [of_fn (fun () -> Desim.now sim)]. *)
+let of_fn (f : unit -> float) : t = f

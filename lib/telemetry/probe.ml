@@ -1,0 +1,51 @@
+(* The lightweight instrumentation facade the rest of the codebase calls.
+
+   Spans go to a process-global tracer that is [Trace.noop] until someone
+   installs one ([with_tracer] in the CLI, tests, benchmarks), so plain
+   library use pays a single physical-equality check per probe.  Metrics go
+   to [Metrics.default] unless a registry is passed explicitly. *)
+
+let tracer = ref Trace.noop
+
+let set_tracer t = tracer := t
+let clear_tracer () = tracer := Trace.noop
+let current_tracer () = !tracer
+let enabled () = not (Trace.is_noop !tracer)
+
+(* Install [t] for the duration of [f]. *)
+let with_tracer t f =
+  let prev = !tracer in
+  tracer := t;
+  Fun.protect ~finally:(fun () -> tracer := prev) f
+
+(* Scoped span on the global tracer (no-op when none installed). *)
+let with_span ?attrs name f =
+  let t = !tracer in
+  if Trace.is_noop t then f ()
+  else Trace.with_span t ?attrs name (fun _ -> f ())
+
+(* Like [with_span] but also records the duration into histogram [name]
+   (suffix "_s") in the default registry — one call gives both the trace
+   entry and the aggregate timing distribution. *)
+let time_block ?registry ?labels ?attrs name f =
+  let t = !tracer in
+  let t0 = Unix.gettimeofday () in
+  let record () =
+    Metrics.observe
+      (Metrics.histogram ?registry ?labels (name ^ "_s"))
+      (Unix.gettimeofday () -. t0)
+  in
+  if Trace.is_noop t then
+    Fun.protect ~finally:record (fun () -> f ())
+  else
+    Trace.with_span t ?attrs name (fun _ ->
+        Fun.protect ~finally:record (fun () -> f ()))
+
+let count ?registry ?labels ?(by = 1.0) name =
+  Metrics.inc ~by (Metrics.counter ?registry ?labels name)
+
+let gauge_set ?registry ?labels name v =
+  Metrics.set (Metrics.gauge ?registry ?labels name) v
+
+let observe ?registry ?labels name v =
+  Metrics.observe (Metrics.histogram ?registry ?labels name) v

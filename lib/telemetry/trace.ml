@@ -1,0 +1,146 @@
+(* Hierarchical spans over a pluggable clock with a bounded in-memory sink.
+
+   A span is one timed region with attributes; parent/child nesting comes
+   either from an explicit [?parent] (asynchronous code: the executor opens a
+   task span, transfers nest under it across Desim callbacks) or from the
+   tracer's stack of currently open [with_span] scopes (synchronous code:
+   compiler passes, DSE stages).
+
+   The sink keeps the first [capacity] started spans and counts the rest as
+   dropped — telemetry must never grow without bound inside a long run. *)
+
+type attr_value = S of string | I of int | F of float | B of bool
+
+type attr = string * attr_value
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  track : int;  (* render lane: Chrome trace tid; executor uses one per node *)
+  start_s : float;
+  mutable end_s : float;  (* < start_s while the span is still open *)
+  mutable attrs : attr list;
+}
+
+type t = {
+  clock : Clock.t;
+  capacity : int;
+  mutable spans : span list;  (* completed+open, newest first *)
+  mutable n_spans : int;
+  mutable dropped : int;
+  mutable next_id : int;
+  mutable stack : span list;  (* open [with_span] scopes, innermost first *)
+  mutable track_names : (int * string) list;
+}
+
+let create ?(capacity = 65536) ?(clock = Clock.wall) () =
+  { clock; capacity; spans = []; n_spans = 0; dropped = 0; next_id = 0;
+    stack = []; track_names = [] }
+
+(* The shared disabled tracer: records nothing, costs (almost) nothing.
+   Instrumented code paths default to it so uninstrumented runs stay fast. *)
+let noop = create ~capacity:0 ~clock:(fun () -> 0.0) ()
+
+let is_noop t = t == noop
+
+let name_track t track name =
+  if not (List.mem_assoc track t.track_names) then
+    t.track_names <- (track, name) :: t.track_names
+
+let track_name t track = List.assoc_opt track t.track_names
+let named_tracks t = List.sort compare t.track_names
+
+let start t ?parent ?(track = 0) ?(attrs = []) name =
+  let parent =
+    match parent with
+    | Some _ as p -> p
+    | None -> ( match t.stack with [] -> None | s :: _ -> Some s.id)
+  in
+  let s =
+    { id = t.next_id; parent; name; track; start_s = t.clock ();
+      end_s = neg_infinity; attrs }
+  in
+  t.next_id <- t.next_id + 1;
+  if t.n_spans < t.capacity then begin
+    t.spans <- s :: t.spans;
+    t.n_spans <- t.n_spans + 1
+  end
+  else t.dropped <- t.dropped + 1;
+  s
+
+let set_attr s key v = s.attrs <- (key, v) :: List.remove_assoc key s.attrs
+
+(* Prepend rather than dedupe: [attr] reads the first binding, so late
+   attributes shadow earlier ones and the hot path stays allocation-light
+   (exporters dedupe on their own, cold, path). *)
+let finish t ?attrs s =
+  (match attrs with
+  | None | Some [] -> ()
+  | Some attrs -> s.attrs <- attrs @ s.attrs);
+  s.end_s <- t.clock ()
+
+let finished s = s.end_s >= s.start_s
+let duration s = if finished s then s.end_s -. s.start_s else 0.0
+
+(* Scratch span handed to callbacks when tracing is disabled, so [with_span]
+   bodies always receive a span they may set attributes on. *)
+let dummy_span () =
+  { id = -1; parent = None; name = "(disabled)"; track = 0; start_s = 0.0;
+    end_s = 0.0; attrs = [] }
+
+(* Synchronous scoped span: nesting tracked on the tracer's stack. *)
+let with_span t ?(attrs = []) name f =
+  if is_noop t then f (dummy_span ())
+  else begin
+    let s = start t ~attrs name in
+    t.stack <- s :: t.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match t.stack with
+        | top :: rest when top == s -> t.stack <- rest
+        | _ -> ());
+        finish t s)
+      (fun () -> f s)
+  end
+
+(* Completed+open spans in start order. *)
+let spans t = List.rev t.spans
+
+(* Same spans, newest first, without the copy — for hot paths that only
+   fold over the log and don't care about order. *)
+let spans_rev t = t.spans
+let span_count t = t.n_spans
+let dropped t = t.dropped
+
+let roots t = List.filter (fun s -> s.parent = None) (spans t)
+let children t s = List.filter (fun c -> c.parent = Some s.id) (spans t)
+let find t name = List.find_opt (fun s -> String.equal s.name name) (spans t)
+
+let attr s key = List.assoc_opt key s.attrs
+
+let attr_int s key =
+  match attr s key with Some (I i) -> Some i | _ -> None
+
+let attr_string s key =
+  match attr s key with Some (S v) -> Some v | _ -> None
+
+let reset t =
+  t.spans <- [];
+  t.n_spans <- 0;
+  t.dropped <- 0;
+  t.stack <- [];
+  t.track_names <- []
+
+let pp_attr_value ppf = function
+  | S s -> Fmt.string ppf s
+  | I i -> Fmt.int ppf i
+  | F f -> Fmt.float ppf f
+  | B b -> Fmt.bool ppf b
+
+let pp_span ppf s =
+  Fmt.pf ppf "[%g..%g] %s%a" s.start_s
+    (if finished s then s.end_s else Float.nan)
+    s.name
+    Fmt.(list ~sep:nop (fun ppf (k, v) -> pf ppf " %s=%a" k pp_attr_value v))
+    s.attrs

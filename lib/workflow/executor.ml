@@ -8,9 +8,16 @@
    Fault tolerance: [failures] marks nodes that die at a given simulated
    time.  Tasks launched on a dead node divert to a fallback; tasks whose
    node died while they ran are detected at completion and re-executed
-   (HyperLoom re-runs failed tasks from their inputs). *)
+   (HyperLoom re-runs failed tasks from their inputs).
+
+   Telemetry: every execution attempt opens a span on the tracer (simulated
+   clock, one track per node) and every transfer nests a span under the
+   pulling task, so the span log is a second, independent account of the run
+   that stats can be checked against. *)
 
 open Everest_platform
+module Trace = Everest_telemetry.Trace
+module Metrics = Everest_telemetry.Metrics
 
 type stats = {
   makespan : float;
@@ -20,11 +27,67 @@ type stats = {
   energy_j : float;
   per_node_tasks : (string * int) list;
   retries : int;
+  span_log : Trace.span list;
 }
 
-let execute ?(failures = []) (c : Cluster.t) (plan : Scheduler.plan) : stats =
+(* ---- trace/stats agreement ------------------------------------------------------ *)
+
+let trace_retries spans =
+  List.length
+    (List.filter
+       (fun s -> Trace.attr_string s "status" = Some "retried")
+       spans)
+
+let trace_bytes_moved spans =
+  List.fold_left
+    (fun acc s ->
+      match Trace.attr_int s "bytes" with
+      | Some b when String.length s.Trace.name >= 5
+                    && String.sub s.Trace.name 0 5 = "xfer:" -> acc + b
+      | _ -> acc)
+    0 spans
+
+let trace_tasks_completed spans =
+  List.length
+    (List.filter (fun s -> Trace.attr_string s "status" = Some "ok") spans)
+
+(* ---- execution ------------------------------------------------------------------ *)
+
+(* Shared attribute lists so the per-span hot path allocates nothing for
+   the common cases. *)
+let ok_attrs = [ ("status", Trace.S "ok") ]
+let retried_attrs = [ ("status", Trace.S "retried") ]
+
+let execute ?(failures = []) ?(tracer = Trace.noop)
+    ?(registry = Metrics.default) (c : Cluster.t) (plan : Scheduler.plan) :
+    stats =
   let dag = plan.Scheduler.dag in
   let sim = c.Cluster.sim in
+  let labels = [ ("workflow", dag.Dag.dag_name) ] in
+  let m_tasks =
+    Metrics.counter ~registry ~labels "workflow_tasks_completed_total"
+  and m_retries =
+    Metrics.counter ~registry ~labels "workflow_task_retries_total"
+  and m_bytes = Metrics.counter ~registry ~labels "workflow_bytes_moved_total"
+  and m_transfers = Metrics.counter ~registry ~labels "workflow_transfers_total"
+  and h_task = Metrics.histogram ~registry ~labels "workflow_task_duration_s"
+  and h_xfer = Metrics.histogram ~registry ~labels "workflow_transfer_s" in
+  let trace_on = not (Trace.is_noop tracer) in
+  (* one render track per node, in cluster order, with the node's constant
+     span attributes precomputed alongside *)
+  let track_info =
+    let tracks = Hashtbl.create 16 in
+    List.iteri
+      (fun i (n : Node.t) ->
+        Hashtbl.replace tracks n.Node.name
+          (i + 1, [ ("node", Trace.S n.Node.name) ]);
+        if trace_on then Trace.name_track tracer (i + 1) n.Node.name)
+      c.Cluster.nodes;
+    fun name ->
+      match Hashtbl.find_opt tracks name with
+      | Some info -> info
+      | None -> (0, [])
+  in
   let dead (node : Node.t) =
     match List.assoc_opt node.Node.name failures with
     | Some t -> Desim.now sim >= t
@@ -56,27 +119,71 @@ let execute ?(failures = []) (c : Cluster.t) (plan : Scheduler.plan) : stats =
     let a = plan.Scheduler.assignments.(i) in
     let planned = Cluster.find_node c a.Scheduler.node in
     let dst = if dead planned then fallback () else planned in
-    run_on i t a dst
-  and run_on i (t : Dag.task) (a : Scheduler.assignment) (dst : Node.t) =
+    run_on i ~attempt:0 t a dst
+  and run_on i ~attempt (t : Dag.task) (a : Scheduler.assignment) (dst : Node.t) =
+    let span =
+      if trace_on then begin
+        let track, node_attrs = track_info dst.Node.name in
+        Some
+          (Trace.start tracer ~track
+             ~attrs:
+               (if attempt = 0 then node_attrs
+                else ("attempt", Trace.I attempt) :: node_attrs)
+             ("task:" ^ t.Dag.name))
+      end
+      else None
+    in
     (* pull inputs sequentially (HyperLoom pulls over per-pair connections) *)
     let rec pull inputs k =
       match inputs with
       | [] -> k ()
       | d :: rest ->
           let src = Cluster.find_node c ran_on.(d) in
-          Cluster.transfer c ~src ~dst ~bytes:dag.Dag.tasks.(d).Dag.out_bytes
-            (fun () -> pull rest k)
+          let bytes = dag.Dag.tasks.(d).Dag.out_bytes in
+          let moved =
+            not (src == dst || String.equal src.Node.name dst.Node.name)
+          in
+          (* src/dst ride in the span name; only [bytes] needs an attribute *)
+          let xspan =
+            if trace_on && moved then
+              Some
+                (Trace.start tracer
+                   ?parent:(Option.map (fun s -> s.Trace.id) span)
+                   ~track:(fst (track_info dst.Node.name))
+                   ~attrs:[ ("bytes", Trace.I bytes) ]
+                   ("xfer:" ^ src.Node.name ^ "->" ^ dst.Node.name))
+            else None
+          in
+          let t0 = Desim.now sim in
+          Cluster.transfer c ~src ~dst ~bytes (fun () ->
+              if moved then begin
+                Metrics.inc ~by:(float_of_int bytes) m_bytes;
+                Metrics.inc m_transfers;
+                Metrics.observe h_xfer (Desim.now sim -. t0)
+              end;
+              Option.iter (fun s -> Trace.finish tracer s) xspan;
+              pull rest k)
     in
+    let t_start = Desim.now sim in
     pull t.Dag.inputs (fun () ->
         let done_ () =
           if dead dst then begin
             (* the node died while the task ran: re-execute elsewhere *)
             incr retries;
-            run_on i t a (fallback ())
+            Metrics.inc m_retries;
+            Option.iter
+              (fun s -> Trace.finish tracer ~attrs:retried_attrs s)
+              span;
+            run_on i ~attempt:(attempt + 1) t a (fallback ())
           end
           else begin
             ran_on.(i) <- dst.Node.name;
             finish.(i) <- Desim.now sim;
+            Metrics.inc m_tasks;
+            Metrics.observe h_task (Desim.now sim -. t_start);
+            Option.iter
+              (fun s -> Trace.finish tracer ~attrs:ok_attrs s)
+              span;
             List.iter
               (fun s ->
                 remaining_deps.(s) <- remaining_deps.(s) - 1;
@@ -114,6 +221,10 @@ let execute ?(failures = []) (c : Cluster.t) (plan : Scheduler.plan) : stats =
         invalid_arg (Printf.sprintf "executor: task %d never completed" i))
     finish;
   let makespan = Array.fold_left Float.max 0.0 finish in
+  Metrics.set
+    (Metrics.gauge ~registry ~labels "workflow_makespan_s")
+    makespan;
+  Cluster.publish_metrics ~registry c;
   let per_node =
     List.map
       (fun (nd : Node.t) -> (nd.Node.name, nd.Node.tasks_run))
@@ -127,14 +238,21 @@ let execute ?(failures = []) (c : Cluster.t) (plan : Scheduler.plan) : stats =
     energy_j = Cluster.total_energy c;
     per_node_tasks = per_node;
     retries = !retries;
+    span_log = (if trace_on then Trace.spans_rev tracer else []);
   }
 
 (* Convenience: build a fresh demonstrator, schedule with [policy], run. *)
 let run_on_demonstrator ?(cloud_fpgas = 4) ?(edges = 2) ?(endpoints = 4)
-    ?failures ~policy dag =
+    ?failures ?(tracer = `Noop) ?registry ~policy dag =
   let c = Cluster.everest_demonstrator ~cloud_fpgas ~edges ~endpoints () in
+  let tracer =
+    match tracer with
+    | `Noop -> Trace.noop
+    | `Sim ->
+        Trace.create ~clock:(fun () -> Desim.now c.Cluster.sim) ()
+  in
   match Scheduler.by_name policy with
   | None -> invalid_arg ("unknown scheduling policy " ^ policy)
   | Some f ->
       let plan = f c dag in
-      (plan, execute ?failures c plan)
+      (plan, execute ?failures ~tracer ?registry c plan)

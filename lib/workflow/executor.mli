@@ -14,25 +14,57 @@ type stats = {
   energy_j : float;
   per_node_tasks : (string * int) list;
   retries : int;  (** Re-executions caused by node failures. *)
+  span_log : Everest_telemetry.Trace.span list;
+      (** Completed spans of the run when a tracer was passed (one
+          ["task:…"] span per execution attempt, one ["xfer:…"] span per
+          transfer), newest first; empty under the default no-op tracer.
+          [retries] and [bytes_moved] are derivable from it — see
+          {!trace_retries} and {!trace_bytes_moved}. *)
 }
 
 (** Execute the plan.  [failures] is a list of [(node, time)] pairs: the
     node dies at the simulated time; tasks divert or re-execute on a
     fallback node (HyperLoom-style recovery).
+
+    [tracer] (default {!Everest_telemetry.Trace.noop}) records per-attempt
+    task spans and per-transfer spans in simulated time, one track per
+    node; [registry] (default {!Everest_telemetry.Metrics.default})
+    accumulates [workflow_*] counters and task/transfer histograms.
     @raise Invalid_argument if a task never completes or every node fails. *)
 val execute :
   ?failures:(string * float) list ->
+  ?tracer:Everest_telemetry.Trace.t ->
+  ?registry:Everest_telemetry.Metrics.registry ->
   Everest_platform.Cluster.t ->
   Scheduler.plan ->
   stats
 
 (** Build a fresh demonstrator, schedule with the named policy, execute.
+    When [tracer] is [`Sim] a tracer on the fresh cluster's simulated clock
+    is created and its spans land in [stats.span_log].
     @raise Invalid_argument on unknown policy names. *)
 val run_on_demonstrator :
   ?cloud_fpgas:int ->
   ?edges:int ->
   ?endpoints:int ->
   ?failures:(string * float) list ->
+  ?tracer:[ `Noop | `Sim ] ->
+  ?registry:Everest_telemetry.Metrics.registry ->
   policy:string ->
   Dag.t ->
   Scheduler.plan * stats
+
+(** {2 Trace/stats agreement}
+
+    The span log is an alternative account of the run; these fold it back
+    into the headline numbers so tests can assert both stories match. *)
+
+(** Task-execution attempts that were abandoned because their node died
+    (spans with [status="retried"]). *)
+val trace_retries : Everest_telemetry.Trace.span list -> int
+
+(** Total bytes carried by ["xfer:…"] spans. *)
+val trace_bytes_moved : Everest_telemetry.Trace.span list -> int
+
+(** Successful task completions (spans with [status="ok"]). *)
+val trace_tasks_completed : Everest_telemetry.Trace.span list -> int
