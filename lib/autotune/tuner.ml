@@ -16,17 +16,32 @@ type t = {
   mutable selections : int;
   mutable switches : int;
   history : (string * Knowledge.metrics) Queue.t;
+  select_memo : Selector.decision option Everest_parallel.Cache.t;
+      (* memoizes [Selector.select] per feature vector; flushed on every
+         observation, since observations move the knowledge *)
 }
 
 let create ?(alpha = 0.3) ?(hysteresis = 0.1) knowledge goal =
   { knowledge; goal; alpha; hysteresis; last = None; selections = 0;
-    switches = 0; history = Queue.create () }
+    switches = 0; history = Queue.create ();
+    select_memo = Everest_parallel.Cache.create ~name:"tuner_select" () }
+
+(* Selection depends only on the feature vector (and the knowledge, which
+   invalidates the memo when it changes), so key on the sorted features. *)
+let features_key features =
+  List.sort (fun (a, _) (b, _) -> compare a b) features
+  |> List.map (fun (k, v) -> Printf.sprintf "%s=%h" k v)
+  |> String.concat ";"
 
 (* With hysteresis: if the previously selected variant is still feasible and
    within (1 + hysteresis) of the challenger's score, stick with it —
    avoids thrashing between statistically indistinguishable variants. *)
 let select (t : t) ~features =
-  let fresh = Selector.select t.knowledge t.goal ~features in
+  let fresh =
+    Everest_parallel.Cache.find_or_compute t.select_memo
+      ~key:(features_key features) (fun () ->
+        Selector.select t.knowledge t.goal ~features)
+  in
   let d =
     match (t.last, fresh) with
     | Some prev, Some next
@@ -80,7 +95,9 @@ let observe (t : t) ~variant ~features ~measured =
             ("variant", variant) ]
         ("tuner_observed_" ^ metric) v)
     measured;
-  Knowledge.observe ~alpha:t.alpha t.knowledge ~variant ~features ~measured
+  Knowledge.observe ~alpha:t.alpha t.knowledge ~variant ~features ~measured;
+  (* the knowledge just moved: memoized selections are stale *)
+  Everest_parallel.Cache.clear t.select_memo
 
 (* One closed-loop step: select, execute via [run], feed the measurement
    back.  [run] returns the measured metrics of the chosen variant. *)

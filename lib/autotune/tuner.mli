@@ -16,6 +16,9 @@ type t = {
   mutable selections : int;
   mutable switches : int;
   history : (string * Knowledge.metrics) Queue.t;
+  select_memo : Selector.decision option Everest_parallel.Cache.t;
+      (** Memoized [Selector.select] results per feature vector; flushed by
+          [observe] since observations move the knowledge. *)
 }
 
 val create : ?alpha:float -> ?hysteresis:float -> Knowledge.t -> Goal.t -> t

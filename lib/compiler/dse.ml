@@ -2,11 +2,19 @@
 
    Strategies: exhaustive enumeration (ground truth), random sampling and a
    greedy hill-climb — the trade-off between exploration cost (how many HLS
-   estimations run) and result quality that the middle-end manages. *)
+   estimations run) and result quality that the middle-end manages.
+
+   Candidate evaluation runs on a domain pool and through the shared
+   estimation cache (see Variants/Estimate_cache); [explored] counts
+   candidate evaluations *requested*, cache hits make them cheap without
+   changing the count.  Every strategy publishes the cache counters and
+   per-domain pool gauges after it finishes, from the coordinating domain. *)
 
 open Everest_dsl
 module Probe = Everest_telemetry.Probe
 module Trace = Everest_telemetry.Trace
+module Pool = Everest_parallel.Pool
+module Rng = Everest_parallel.Rng
 
 type result = {
   explored : int;  (* candidate evaluations performed *)
@@ -36,28 +44,42 @@ let summarize ?(strategy = "exhaustive") explored vs =
     (float_of_int (List.length r.variants));
   r
 
-let exhaustive ?(target = Variants.default_target) ?(annots = [])
+(* Cache hit/miss gauges + per-domain task gauges, recorded once per
+   strategy run from the coordinating domain. *)
+let publish_instrumentation pool cache =
+  Estimate_cache.publish
+    (match cache with Some c -> c | None -> Estimate_cache.global);
+  Pool.publish_stats (match pool with Some p -> p | None -> Pool.default ())
+
+let exhaustive ?pool ?cache ?(target = Variants.default_target) ?(annots = [])
     (e : Tensor_expr.expr) : result =
   Probe.time_block ~labels:[ ("stage", "exhaustive") ] "dse_stage"
     (fun () ->
-      let vs = Variants.generate ~target ~annots e in
-      summarize ~strategy:"exhaustive" (List.length vs) vs)
+      let vs = Variants.generate ?pool ?cache ~target ~annots e in
+      let r = summarize ~strategy:"exhaustive" (List.length vs) vs in
+      publish_instrumentation pool cache;
+      r)
 
-(* Random subset of the full space: [budget] samples, deterministic seed. *)
-let sampled ?(target = Variants.default_target) ?(annots = []) ?(seed = 17)
-    ~budget (e : Tensor_expr.expr) : result =
+(* Random subset of the full space: [budget] samples, deterministic seed.
+   The shared Rng guards degenerate seeds (0 would freeze the ad-hoc
+   generator this code used to carry). *)
+let sampled ?pool ?cache ?(target = Variants.default_target) ?(annots = [])
+    ?(seed = 17) ~budget (e : Tensor_expr.expr) : result =
   Probe.time_block ~labels:[ ("stage", "sampled") ] "dse_stage" @@ fun () ->
-  let summarize = summarize ~strategy:"sampled" in
-  let all = Variants.generate ~target ~annots e in
+  let summarize explored vs =
+    let r = summarize ~strategy:"sampled" explored vs in
+    publish_instrumentation pool cache;
+    r
+  in
+  let all = Variants.generate ?pool ?cache ~target ~annots e in
   let n = List.length all in
   if budget >= n then summarize n all
   else begin
-    let st = ref seed in
-    let rand m = st := ((!st * 48271) mod 0x7FFFFFFF); !st mod m in
+    let rng = Rng.create seed in
     let arr = Array.of_list all in
     (* partial Fisher-Yates *)
     for i = 0 to budget - 1 do
-      let j = i + rand (n - i) in
+      let j = i + Rng.int rng (n - i) in
       let tmp = arr.(i) in
       arr.(i) <- arr.(j);
       arr.(j) <- tmp
@@ -69,8 +91,9 @@ let sampled ?(target = Variants.default_target) ?(annots = []) ?(seed = 17)
    one knob at a time — threads, then tile, then layout — keeping the best
    along each axis.  Only the final software point is compared against the
    (few) hardware candidates, so far fewer cost evaluations run than in the
-   exhaustive search. *)
-let greedy ?(target = Variants.default_target) ?(annots = [])
+   exhaustive search.  The sweeps revisit points (the threads axis runs
+   twice), so evaluation goes through the shared estimation cache. *)
+let greedy ?pool ?cache ?(target = Variants.default_target) ?(annots = [])
     (e : Tensor_expr.expr) : result =
   Probe.time_block ~labels:[ ("stage", "greedy") ] "dse_stage" @@ fun () ->
   (* per-axis timing: each coordinate sweep is its own probe stage *)
@@ -80,13 +103,7 @@ let greedy ?(target = Variants.default_target) ?(annots = [])
   let explored = ref 0 in
   let eval (p : Cost_model.sw_params) =
     incr explored;
-    {
-      Variants.vname = Cost_model.variant_name p;
-      impl = Variants.Sw p;
-      time_s = Cost_model.sw_time target.Variants.cpu e p;
-      energy_j = Cost_model.sw_energy target.Variants.cpu e p;
-      area_luts = 0;
-    }
+    Variants.eval_sw ?cache target e p
   in
   let better a b = if a.Variants.time_s <= b.Variants.time_s then a else b in
   let sweep current candidates =
@@ -129,12 +146,14 @@ let greedy ?(target = Variants.default_target) ?(annots = [])
   in
   (* hardware candidates *)
   let hw =
-    stage "hw" (fun () -> Variants.hw_variants target ~dift:false e)
+    stage "hw" (fun () -> Variants.hw_variants ?pool ?cache target ~dift:false e)
   in
   explored := !explored + List.length hw;
   ignore annots;
   let final = List.fold_left better current hw in
-  summarize ~strategy:"greedy" !explored [ final ]
+  let r = summarize ~strategy:"greedy" !explored [ final ] in
+  publish_instrumentation pool cache;
+  r
 
 (* Quality of a strategy versus the exhaustive oracle: ratio of achieved
    best time to true best time (1.0 = optimal). *)

@@ -1,7 +1,10 @@
 (** Design-space exploration over the variant space.
 
     Strategies trade exploration cost (how many cost-model/HLS evaluations
-    run) against result quality. *)
+    run) against result quality.  Candidate evaluation goes through a
+    domain pool and the shared estimation cache; omit [pool]/[cache] for
+    the process-wide defaults.  [explored] counts evaluations requested —
+    cache hits make them cheap without changing the count. *)
 
 type result = {
   explored : int;  (** Candidate evaluations performed. *)
@@ -15,13 +18,19 @@ val summarize : ?strategy:string -> int -> Variants.variant list -> result
 
 (** Evaluate the whole space (the oracle). *)
 val exhaustive :
+  ?pool:Everest_parallel.Pool.t ->
+  ?cache:Estimate_cache.t ->
   ?target:Variants.target ->
   ?annots:Everest_dsl.Annot.t list ->
   Everest_dsl.Tensor_expr.expr ->
   result
 
-(** Deterministic random subset of [budget] candidates. *)
+(** Deterministic random subset of [budget] candidates.  Any [seed] is
+    valid: degenerate seeds (0, multiples of [0x7FFFFFFF]) are guarded by
+    {!Everest_parallel.Rng}. *)
 val sampled :
+  ?pool:Everest_parallel.Pool.t ->
+  ?cache:Estimate_cache.t ->
   ?target:Variants.target ->
   ?annots:Everest_dsl.Annot.t list ->
   ?seed:int ->
@@ -32,6 +41,8 @@ val sampled :
 (** Coordinate descent over threads, tile, threads again, layout, then the
     hardware candidates — far fewer evaluations than exhaustive. *)
 val greedy :
+  ?pool:Everest_parallel.Pool.t ->
+  ?cache:Estimate_cache.t ->
   ?target:Variants.target ->
   ?annots:Everest_dsl.Annot.t list ->
   Everest_dsl.Tensor_expr.expr ->

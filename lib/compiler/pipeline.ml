@@ -31,8 +31,8 @@ type compiled_app = {
 
 exception Compile_error of string
 
-let compile ?(target = Variants.default_target) (g : Dataflow.graph) :
-    compiled_app =
+let compile ?pool ?cache ?(target = Variants.default_target)
+    (g : Dataflow.graph) : compiled_app =
   (match Dataflow.validate g with
   | Ok () -> ()
   | Error es -> raise (Compile_error (String.concat "; " es)));
@@ -56,7 +56,7 @@ let compile ?(target = Variants.default_target) (g : Dataflow.graph) :
       (fun (n : Dataflow.node) ->
         match n.Dataflow.kernel with
         | Some (Dataflow.Tensor_kernel e) ->
-            let dse = Dse.exhaustive ~target ~annots:n.Dataflow.annots e in
+            let dse = Dse.exhaustive ?pool ?cache ~target ~annots:n.Dataflow.annots e in
             let knowledge =
               Variants.to_knowledge ~kernel:n.Dataflow.nname dse.Dse.variants
             in

@@ -28,10 +28,16 @@ type compiled_app = {
 
 exception Compile_error of string
 
-(** Compile a workflow graph.
+(** Compile a workflow graph.  Per-kernel DSE evaluates candidates on
+    [pool] through [cache] (process-wide defaults when omitted, so warm
+    re-compiles of the same kernels skip estimation).
     @raise Compile_error on invalid graphs or IR verification failures. *)
 val compile :
-  ?target:Variants.target -> Everest_dsl.Dataflow.graph -> compiled_app
+  ?pool:Everest_parallel.Pool.t ->
+  ?cache:Estimate_cache.t ->
+  ?target:Variants.target ->
+  Everest_dsl.Dataflow.graph ->
+  compiled_app
 
 val total_variants : compiled_app -> int
 val report : Format.formatter -> compiled_app -> unit

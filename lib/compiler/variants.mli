@@ -2,7 +2,12 @@
 
     Every kernel expands into implementation candidates with estimated
     metrics; the DSE prunes them; survivors become the operating points the
-    runtime selects among. *)
+    runtime selects among.
+
+    Candidate evaluation runs through an {!Everest_parallel.Pool} (one task
+    per candidate, deterministic output ordering) and a shared
+    {!Estimate_cache}, so repeated explorations reuse earlier estimations.
+    When [pool]/[cache] are omitted the process-wide defaults are used. *)
 
 open Everest_platform
 
@@ -30,15 +35,43 @@ type variant = {
 }
 
 val in_out_bytes : Everest_dsl.Tensor_expr.expr -> int * int
-val sw_variants : target -> Everest_dsl.Tensor_expr.expr -> variant list
+
+(** The software knob grid of a target for an expression (tiles only for
+    contraction kernels). *)
+val sw_param_space :
+  target -> Everest_dsl.Tensor_expr.expr -> Cost_model.sw_params list
+
+(** Evaluate one software candidate through the estimation cache. *)
+val eval_sw :
+  ?cache:Estimate_cache.t ->
+  target ->
+  Everest_dsl.Tensor_expr.expr ->
+  Cost_model.sw_params ->
+  variant
+
+val sw_variants :
+  ?pool:Everest_parallel.Pool.t ->
+  ?cache:Estimate_cache.t ->
+  target ->
+  Everest_dsl.Tensor_expr.expr ->
+  variant list
 
 (** Hardware candidates that fit the target FPGA; [dift] instruments every
-    design with taint tracking. *)
-val hw_variants : target -> ?dift:bool -> Everest_dsl.Tensor_expr.expr -> variant list
+    design with taint tracking.  Each candidate's DFG construction +
+    schedule + bind + estimate runs as one pool task. *)
+val hw_variants :
+  ?pool:Everest_parallel.Pool.t ->
+  ?cache:Estimate_cache.t ->
+  target ->
+  ?dift:bool ->
+  Everest_dsl.Tensor_expr.expr ->
+  variant list
 
 (** Full variant space.  Kernels annotated Confidential or higher get
     DIFT-instrumented hardware variants. *)
 val generate :
+  ?pool:Everest_parallel.Pool.t ->
+  ?cache:Estimate_cache.t ->
   ?target:target ->
   ?annots:Everest_dsl.Annot.t list ->
   Everest_dsl.Tensor_expr.expr ->
@@ -47,7 +80,13 @@ val generate :
 (** Pareto dominance in (time, energy, area). *)
 val dominates : variant -> variant -> bool
 
+(** O(n log n) Pareto filter (lexicographic sort + staircase sweep on
+    energy/area).  Survivors are returned in input order, identical to
+    {!pareto_naive}. *)
 val pareto : variant list -> variant list
+
+(** O(n²) reference implementation (oracle for the property tests). *)
+val pareto_naive : variant list -> variant list
 
 (** Bridge to the runtime: variants as mARGOt operating points. *)
 val to_knowledge :

@@ -302,6 +302,76 @@ let rec node_count e =
       1 + node_count a
   | Contract (_, es) -> List.fold_left (fun n x -> Stdlib.( + ) n (node_count x)) 1 es
 
+(* ---- structural fingerprint --------------------------------------------------- *)
+
+(* Compact serialization of the full structure — node kinds, operator
+   payloads, input names and every shape — used as the expression half of
+   the compiler's estimation-cache keys.  Two expressions share a
+   fingerprint iff they are structurally identical, so cached cost/HLS
+   results keyed on it are safe to reuse across DSE strategies and
+   compilation runs. *)
+let fingerprint e =
+  let buf = Buffer.create 128 in
+  let dims s =
+    Buffer.add_char buf '[';
+    List.iter
+      (fun d ->
+        Buffer.add_string buf (string_of_int d);
+        Buffer.add_char buf ',')
+      s;
+    Buffer.add_char buf ']'
+  in
+  let rec go e =
+    Buffer.add_char buf '(';
+    (match e.node with
+    | Input n ->
+        Buffer.add_string buf "in:";
+        Buffer.add_string buf n
+    | Const v -> Buffer.add_string buf (Printf.sprintf "c:%h" v)
+    | Binop (op, a, b) ->
+        Buffer.add_string buf "bin:";
+        Buffer.add_string buf
+          (match op with
+          | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div"
+          | Max -> "max" | Min -> "min");
+        go a;
+        go b
+    | Unop (op, a) ->
+        Buffer.add_string buf "un:";
+        Buffer.add_string buf
+          (match op with
+          | Relu -> "relu" | Sigmoid -> "sigmoid" | Tanh -> "tanh"
+          | Exp -> "exp" | Neg -> "neg" | Sqrt -> "sqrt");
+        go a
+    | Scale (k, a) ->
+        Buffer.add_string buf (Printf.sprintf "scale:%h" k);
+        go a
+    | Matmul (a, b) ->
+        Buffer.add_string buf "mm:";
+        go a;
+        go b
+    | Transpose a ->
+        Buffer.add_string buf "tr:";
+        go a
+    | Reshape a ->
+        Buffer.add_string buf "rs:";
+        go a
+    | Reduce (r, a) ->
+        Buffer.add_string buf "red:";
+        Buffer.add_string buf
+          (match r with
+          | Sum -> "sum" | Prod -> "prod" | Rmax -> "rmax" | Rmin -> "rmin");
+        go a
+    | Contract (spec, es) ->
+        Buffer.add_string buf "ein:";
+        Buffer.add_string buf spec;
+        List.iter go es);
+    dims e.shape;
+    Buffer.add_char buf ')'
+  in
+  go e;
+  Buffer.contents buf
+
 (* ---- pretty-printing ---------------------------------------------------------- *)
 
 let binop_name = function

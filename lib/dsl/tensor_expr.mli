@@ -98,5 +98,11 @@ val intensity : expr -> float
 val depth : expr -> int
 val node_count : expr -> int
 
+(** Compact structural serialization (node kinds, operator payloads, input
+    names, every shape): two expressions share a fingerprint iff they are
+    structurally identical.  Used as the expression half of the compiler's
+    estimation-cache keys. *)
+val fingerprint : expr -> string
+
 val pp : Format.formatter -> expr -> unit
 val to_string : expr -> string

@@ -1,0 +1,87 @@
+(* Domain-safe string-keyed memo cache with hit/miss accounting.
+
+   The concrete caches built on top of this (the compiler's estimation
+   cache, the tuner's selection memo) share one locking and telemetry
+   discipline: a single mutex guards the table and the counters, the
+   cached computation itself runs outside the lock.  Two domains racing on
+   the same missing key may both compute it — the first insert wins and
+   the duplicate work is bounded by one task — which keeps the lock out of
+   the (potentially expensive) compute path. *)
+
+type 'a t = {
+  name : string;
+  m : Mutex.t;
+  tbl : (string, 'a) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type stats = { hits : int; misses : int; entries : int }
+
+let create ?(name = "cache") () =
+  { name; m = Mutex.create (); tbl = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let name t = t.name
+
+let find t key =
+  Mutex.lock t.m;
+  let r = Hashtbl.find_opt t.tbl key in
+  (match r with
+  | Some _ -> t.hits <- t.hits + 1
+  | None -> t.misses <- t.misses + 1);
+  Mutex.unlock t.m;
+  r
+
+let add t key v =
+  Mutex.lock t.m;
+  if not (Hashtbl.mem t.tbl key) then Hashtbl.add t.tbl key v;
+  Mutex.unlock t.m
+
+let find_or_compute t ~key f =
+  Mutex.lock t.m;
+  match Hashtbl.find_opt t.tbl key with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.m;
+      v
+  | None ->
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.m;
+      let v = f () in
+      add t key v;
+      v
+
+let stats t =
+  Mutex.lock t.m;
+  let s = { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.tbl } in
+  Mutex.unlock t.m;
+  s
+
+let hit_rate t =
+  let s = stats t in
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+let clear t =
+  Mutex.lock t.m;
+  Hashtbl.reset t.tbl;
+  Mutex.unlock t.m
+
+let reset t =
+  Mutex.lock t.m;
+  Hashtbl.reset t.tbl;
+  t.hits <- 0;
+  t.misses <- 0;
+  Mutex.unlock t.m
+
+(* Publish the counters as gauges labelled by cache name.  Call from a
+   single domain (the metrics registry is not written concurrently). *)
+let publish ?registry t =
+  let s = stats t in
+  let labels = [ ("cache", t.name) ] in
+  Everest_telemetry.Probe.gauge_set ?registry ~labels "cache_hits"
+    (float_of_int s.hits);
+  Everest_telemetry.Probe.gauge_set ?registry ~labels "cache_misses"
+    (float_of_int s.misses);
+  Everest_telemetry.Probe.gauge_set ?registry ~labels "cache_entries"
+    (float_of_int s.entries)

@@ -155,10 +155,10 @@ let serve orch ~kernel ~n ~policy
   let last_variant = ref None in
   let alerts_before = ref orch.protection.Protection.total_alerts in
   let log = ref [] in
-  let rng = ref 123 in
+  let rng = Everest_parallel.Rng.create 123 in
   let pick_random seed_variants =
-    rng := ((!rng * 48271) mod 0x7FFFFFFF);
-    List.nth seed_variants (!rng mod List.length seed_variants)
+    List.nth seed_variants
+      (Everest_parallel.Rng.int rng (List.length seed_variants))
   in
   let rec loop req =
     if req >= n then ()

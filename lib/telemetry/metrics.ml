@@ -17,10 +17,11 @@ let bucket_ratio = 10.0 ** 0.1
 let bucket_min = 1e-9
 let n_buckets = 181  (* covers 1e-9 .. 10^9.1, plus under/overflow *)
 
+(* Computed eagerly: a [lazy] here would be forced from whichever domain
+   observes first, and Lazy.force is not safe under concurrent forcing. *)
 let bucket_upper =
-  lazy
-    (Array.init n_buckets (fun i ->
-         bucket_min *. (bucket_ratio ** float_of_int (i + 1))))
+  Array.init n_buckets (fun i ->
+      bucket_min *. (bucket_ratio ** float_of_int (i + 1)))
 
 (* index of the bucket whose (lower, upper] range holds [x] *)
 let bucket_index x =
@@ -30,7 +31,7 @@ let bucket_index x =
       int_of_float (Float.ceil (10.0 *. (Float.log10 x +. 9.0))) - 1
     in
     (* float_of/log rounding can land one off; nudge into the right bucket *)
-    let upper = Lazy.force bucket_upper in
+    let upper = bucket_upper in
     let i = max 0 (min (n_buckets - 1) i) in
     if x > upper.(i) then min (n_buckets - 1) (i + 1)
     else if i > 0 && x <= upper.(i - 1) then i - 1
@@ -66,7 +67,7 @@ let quantile h q =
   else begin
     let q = Float.max 0.0 (Float.min 1.0 q) in
     let rank = q *. float_of_int h.h_count in
-    let upper = Lazy.force bucket_upper in
+    let upper = bucket_upper in
     let rec scan i cum =
       if i >= n_buckets then h.h_max
       else
@@ -102,13 +103,26 @@ type metric = {
 
 type registry = { tbl : (string * (string * string) list, metric) Hashtbl.t }
 
+(* One lock for every registry: registration can race when pool worker
+   domains look metrics up concurrently, and an unsynchronized Hashtbl is
+   unsafe under parallel writes.  Individual counter/gauge/histogram
+   updates stay lock-free — they are plain field writes, which the OCaml
+   memory model keeps memory-safe; concurrent writers to the *same* cell
+   may lose updates, so hot multi-domain paths publish from a single
+   coordinating domain instead (see Everest_parallel.Cache.publish). *)
+let registry_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
 let create_registry () = { tbl = Hashtbl.create 64 }
 
 (* The process-wide default registry: the Probe API and all subsystem
    counters write here unless told otherwise. *)
 let default = create_registry ()
 
-let reset r = Hashtbl.reset r.tbl
+let reset r = locked (fun () -> Hashtbl.reset r.tbl)
 
 let valid_name n =
   n <> ""
@@ -130,17 +144,18 @@ let get_or_create r name labels help mk same_kind =
   if not (valid_name name) then
     invalid_arg (Printf.sprintf "metrics: invalid metric name %S" name);
   let labels = normalize_labels labels in
-  match Hashtbl.find_opt r.tbl (name, labels) with
-  | Some m ->
-      if not (same_kind m.value) then
-        invalid_arg
-          (Printf.sprintf "metrics: %s already registered as a %s" name
-             (kind_name m.value));
-      m.value
-  | None ->
-      let m = { mname = name; labels; help; value = mk () } in
-      Hashtbl.replace r.tbl (name, labels) m;
-      m.value
+  locked (fun () ->
+      match Hashtbl.find_opt r.tbl (name, labels) with
+      | Some m ->
+          if not (same_kind m.value) then
+            invalid_arg
+              (Printf.sprintf "metrics: %s already registered as a %s" name
+                 (kind_name m.value));
+          m.value
+      | None ->
+          let m = { mname = name; labels; help; value = mk () } in
+          Hashtbl.replace r.tbl (name, labels) m;
+          m.value)
 
 type counter = float ref
 type gauge = float ref
@@ -183,14 +198,15 @@ let histogram ?(registry = default) ?(labels = []) ?(help = "") name =
   | _ -> assert false
 
 let metrics r =
-  Hashtbl.fold (fun _ m acc -> m :: acc) r.tbl []
+  locked (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) r.tbl [])
   |> List.sort (fun a b ->
          match compare a.mname b.mname with
          | 0 -> compare a.labels b.labels
          | c -> c)
 
 let find ?(registry = default) ?(labels = []) name =
-  Hashtbl.find_opt registry.tbl (name, normalize_labels labels)
+  locked (fun () ->
+      Hashtbl.find_opt registry.tbl (name, normalize_labels labels))
 
 (* ---- rendering ------------------------------------------------------------------- *)
 
@@ -247,7 +263,7 @@ let render_prometheus r =
           line m.mname m.labels !g
       | Histogram h ->
           header m.mname "histogram" m.help;
-          let upper = Lazy.force bucket_upper in
+          let upper = bucket_upper in
           let cum = ref 0 in
           Array.iteri
             (fun i c ->

@@ -63,8 +63,8 @@ let total_flops d =
 (* Layered random DAG: [layers] layers of [width] tasks, each consuming 1-2
    tasks from the previous layer.  Deterministic in [seed]. *)
 let layered ?(seed = 1) ~layers ~width ~flops ~bytes () =
-  let st = ref seed in
-  let rand m = st := ((!st * 48271) mod 0x7FFFFFFF); !st mod m in
+  let rng = Everest_parallel.Rng.create seed in
+  let rand m = Everest_parallel.Rng.int rng m in
   let tasks = ref [] in
   let id = ref 0 in
   let prev = ref [] in

@@ -1,0 +1,201 @@
+(* Tests for everest_parallel (domain pool, RNG, memo cache) and the
+   compiler's use of them: shared estimation cache and the guarantee that
+   parallel DSE returns bit-identical Pareto sets. *)
+
+open Everest_parallel
+module Comp = Everest_compiler
+module TE = Everest_dsl.Tensor_expr
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ---- pool ----------------------------------------------------------------------- *)
+
+let test_map_matches_sequential () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  Pool.with_pool ~domains:4 (fun p ->
+      Alcotest.(check (list int))
+        "parallel = sequential" (List.map f xs) (Pool.parallel_map p f xs))
+
+let test_map_deterministic () =
+  let xs = List.init 257 string_of_int in
+  Pool.with_pool ~domains:4 (fun p ->
+      let a = Pool.parallel_map p String.length xs in
+      let b = Pool.parallel_map p String.length xs in
+      Alcotest.(check (list int)) "two runs agree" a b)
+
+let test_map_empty_and_single_domain () =
+  Pool.with_pool ~domains:4 (fun p ->
+      checki "empty list" 0 (List.length (Pool.parallel_map p succ [])));
+  Pool.with_pool ~domains:1 (fun p ->
+      checki "size-1 pool runs in caller" 1 (Pool.size p);
+      Alcotest.(check (list int))
+        "sequential fallback" [ 2; 3; 4 ]
+        (Pool.parallel_map p succ [ 1; 2; 3 ]))
+
+let test_exception_propagates () =
+  Pool.with_pool ~domains:4 (fun p ->
+      Alcotest.check_raises "task exception re-raised" (Failure "boom")
+        (fun () ->
+          ignore
+            (Pool.parallel_map p
+               (fun x -> if x = 13 then failwith "boom" else x)
+               (List.init 64 (fun i -> i)))))
+
+let test_reduce_in_order () =
+  (* string concatenation is not commutative: order mistakes show *)
+  let xs = List.init 50 string_of_int in
+  Pool.with_pool ~domains:4 (fun p ->
+      Alcotest.(check string)
+        "non-commutative reduce matches fold"
+        (List.fold_left ( ^ ) "" xs)
+        (Pool.parallel_reduce p ~map:Fun.id ~combine:( ^ ) ~init:"" xs))
+
+let test_stats_account_all_items () =
+  Pool.with_pool ~domains:4 (fun p ->
+      ignore (Pool.parallel_map p succ (List.init 200 (fun i -> i)));
+      checki "every item attributed to a domain" 200
+        (Array.fold_left ( + ) 0 (Pool.stats p)))
+
+(* ---- rng ------------------------------------------------------------------------ *)
+
+let test_rng_degenerate_seeds () =
+  (* 0 and multiples of the modulus are absorbing states of the raw Lehmer
+     recurrence; the seed guard must map them somewhere productive *)
+  List.iter
+    (fun seed ->
+      let r = Rng.create seed in
+      let a = Rng.next r and b = Rng.next r in
+      checkb (Printf.sprintf "seed %d draws nonzero" seed) true
+        (a > 0 && b > 0);
+      checkb (Printf.sprintf "seed %d advances" seed) true (a <> b))
+    [ 0; 0x7FFFFFFF; -0x7FFFFFFF; 2 * 0x7FFFFFFF ]
+
+let test_rng_deterministic_and_compatible () =
+  let a = Rng.create 17 and b = Rng.create 17 in
+  let da = List.init 20 (fun _ -> Rng.next a) in
+  let db = List.init 20 (fun _ -> Rng.next b) in
+  Alcotest.(check (list int)) "same seed, same stream" da db;
+  (* first draw matches the historical ad-hoc generators this replaced *)
+  checki "Lehmer step for seed 17" (17 * 48271 mod 0x7FFFFFFF)
+    (Rng.next (Rng.create 17))
+
+let test_rng_bounds () =
+  let r = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 7 in
+    checkb "in range" true (v >= 0 && v < 7)
+  done;
+  Alcotest.check_raises "bound must be positive"
+    (Invalid_argument "Everest_parallel.Rng.int: bound <= 0") (fun () ->
+      ignore (Rng.int r 0))
+
+(* ---- cache ---------------------------------------------------------------------- *)
+
+let test_cache_counts () =
+  let c = Cache.create ~name:"t" () in
+  checki "computed once" 7 (Cache.find_or_compute c ~key:"k" (fun () -> 7));
+  checki "served from cache" 7
+    (Cache.find_or_compute c ~key:"k" (fun () -> Alcotest.fail "recomputed"));
+  let s = Cache.stats c in
+  checki "hits" 1 s.Cache.hits;
+  checki "misses" 1 s.Cache.misses;
+  checki "entries" 1 s.Cache.entries;
+  Cache.clear c;
+  checki "cleared" 0 (Cache.stats c).Cache.entries;
+  checki "counters survive clear" 1 (Cache.stats c).Cache.hits
+
+(* ---- estimation cache + DSE ----------------------------------------------------- *)
+
+let matmul_expr n = TE.matmul (TE.input "a" [ n; n ]) (TE.input "b" [ n; n ])
+
+let test_dse_cache_hits_on_repeat () =
+  let cache = Comp.Estimate_cache.create () in
+  let e = matmul_expr 64 in
+  let r1 = Comp.Dse.exhaustive ~cache e in
+  let cold = Comp.Estimate_cache.stats cache in
+  checki "cold run misses everything" 0 cold.Cache.hits;
+  checkb "cold run populates" true (cold.Cache.entries > 0);
+  let r2 = Comp.Dse.exhaustive ~cache e in
+  let warm = Comp.Estimate_cache.stats cache in
+  checki "warm run hits everything" cold.Cache.misses warm.Cache.hits;
+  checki "no new entries" cold.Cache.entries warm.Cache.entries;
+  checki "same pareto size" (List.length r1.Comp.Dse.variants)
+    (List.length r2.Comp.Dse.variants)
+
+let same_variants a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Comp.Variants.variant) (y : Comp.Variants.variant) ->
+         String.equal x.Comp.Variants.vname y.Comp.Variants.vname
+         && x.Comp.Variants.time_s = y.Comp.Variants.time_s
+         && x.Comp.Variants.energy_j = y.Comp.Variants.energy_j
+         && x.Comp.Variants.area_luts = y.Comp.Variants.area_luts)
+       a b
+
+let test_parallel_dse_bit_identical () =
+  let e = matmul_expr 128 in
+  let seq =
+    Pool.with_pool ~domains:1 (fun pool ->
+        Comp.Dse.exhaustive ~pool ~cache:(Comp.Estimate_cache.create ()) e)
+  in
+  let par =
+    Pool.with_pool ~domains:4 (fun pool ->
+        Comp.Dse.exhaustive ~pool ~cache:(Comp.Estimate_cache.create ()) e)
+  in
+  checki "same exploration count" seq.Comp.Dse.explored par.Comp.Dse.explored;
+  checkb "bit-identical pareto set" true
+    (same_variants seq.Comp.Dse.variants par.Comp.Dse.variants)
+
+(* ---- pareto: fast sweep vs naive reference -------------------------------------- *)
+
+let variant_of (t, e, a) =
+  { Comp.Variants.vname = Printf.sprintf "v-%g-%g-%d" t e a;
+    impl =
+      Comp.Variants.Sw
+        { Comp.Cost_model.tile = None; layout = Comp.Cost_model.Aos;
+          threads = 1 };
+    time_s = t; energy_j = e; area_luts = a }
+
+(* small value grids so duplicates and per-axis ties actually occur *)
+let variant_gen =
+  QCheck.Gen.(
+    list_size (int_bound 60)
+      (map variant_of
+         (triple
+            (map (fun i -> float_of_int i) (int_range 1 4))
+            (map (fun i -> float_of_int i) (int_range 1 4))
+            (int_range 0 3))))
+
+let pareto_equiv =
+  QCheck.Test.make ~count:500 ~name:"pareto sweep = naive filter"
+    (QCheck.make variant_gen) (fun vs ->
+      same_variants (Comp.Variants.pareto vs) (Comp.Variants.pareto_naive vs))
+
+let () =
+  Alcotest.run "everest_parallel"
+    [ ( "pool",
+        [ Alcotest.test_case "map = sequential" `Quick
+            test_map_matches_sequential;
+          Alcotest.test_case "deterministic" `Quick test_map_deterministic;
+          Alcotest.test_case "empty + size-1" `Quick
+            test_map_empty_and_single_domain;
+          Alcotest.test_case "exceptions" `Quick test_exception_propagates;
+          Alcotest.test_case "ordered reduce" `Quick test_reduce_in_order;
+          Alcotest.test_case "stats" `Quick test_stats_account_all_items ] );
+      ( "rng",
+        [ Alcotest.test_case "degenerate seeds" `Quick
+            test_rng_degenerate_seeds;
+          Alcotest.test_case "determinism + compat" `Quick
+            test_rng_deterministic_and_compatible;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds ] );
+      ( "cache",
+        [ Alcotest.test_case "hit/miss accounting" `Quick test_cache_counts ] );
+      ( "dse",
+        [ Alcotest.test_case "repeat exploration hits cache" `Quick
+            test_dse_cache_hits_on_repeat;
+          Alcotest.test_case "parallel = sequential pareto" `Quick
+            test_parallel_dse_bit_identical ] );
+      ( "pareto",
+        [ QCheck_alcotest.to_alcotest pareto_equiv ] ) ]
