@@ -10,13 +10,18 @@
          synthesize the demo kernel and print the HLS report + RTL sketch
      everest_cli telemetry [--trace-out F] [--metrics-out F] [--format t|p]
          run the demonstrator workflow + adaptive serving fully
-         instrumented; emit a Chrome trace-event JSON and a metrics dump  *)
+         instrumented; emit a Chrome trace-event JSON and a metrics dump
+     everest_cli lint [FILE..] [--demo] [--examples] [--format text|json]
+         run the static-analysis rules over textual IR modules (or the
+         seeded-defect / lowered-example modules); exit 1 on errors  *)
 
 open Cmdliner
 module Sdk = Everest.Sdk
 module Dsl = Everest_dsl
 module TE = Everest_dsl.Tensor_expr
 module Tel = Everest_telemetry
+module EIr = Everest_ir
+module Lint = Everest_analysis.Lint
 
 let demo_graph n =
   let g = Sdk.workflow "demo" in
@@ -298,9 +303,192 @@ let telemetry_cmd =
       const run $ size $ policy $ requests $ kill $ trace_out $ metrics_out
       $ format)
 
+(* ---- lint ------------------------------------------------------------------ *)
+
+(* A module seeded with one instance of every defect family the lint rules
+   cover, each op carrying a file location so diagnostics are clickable. *)
+let seeded_module () =
+  EIr.Registry.register_all ();
+  let ctx = EIr.Ir.ctx () in
+  let at l (o : EIr.Ir.op) =
+    { o with EIr.Ir.loc = EIr.Loc.file "seeded.mlir" l }
+  in
+  let r = EIr.Ir.result in
+  (* @k_proc: the kernel referenced by the placed task (kept alive) *)
+  let karg = EIr.Ir.fresh_value ctx EIr.Types.f64 in
+  let kret = at 3 (EIr.Dialect_func.return ctx [ karg ]) in
+  let k_proc = EIr.Ir.func "k_proc" [ karg ] [ EIr.Types.f64 ] [ kret ] in
+  (* @orphan: never referenced -> EV011 *)
+  let oret = at 7 (EIr.Dialect_func.return ctx []) in
+  let orphan = EIr.Ir.func "orphan" [] [] [ oret ] in
+  (* @secrets: EV040 secret data reaches a public sink; EV041 secret task
+     pinned to an edge node *)
+  let src =
+    at 11
+      (EIr.Dialect_df.source ctx "patient_records"
+         (EIr.Types.tensor EIr.Types.F64 [ 64 ]))
+  in
+  let cls =
+    at 12 (EIr.Dialect_sec.classify ctx (r src) EIr.Dialect_sec.Secret)
+  in
+  let leak_sink = at 13 (EIr.Dialect_df.sink ctx "public_out" (r cls)) in
+  let placed =
+    at 14
+      (EIr.Dialect_df.task ctx ~kernel:"k_proc"
+         ~attrs:
+           [ ("everest.security", EIr.Attr.str "secret");
+             ("everest.locality", EIr.Attr.str "edge:0") ]
+         [ r cls ]
+         [ EIr.Types.tensor EIr.Types.F64 [ 64 ] ])
+  in
+  let sret = at 15 (EIr.Dialect_func.return ctx []) in
+  let secrets =
+    EIr.Ir.func "secrets" [] [] [ src; cls; leak_sink; placed; sret ]
+  in
+  (* @main: memref lifetime defects + a dead, constant-foldable op *)
+  let buf = at 19 (EIr.Dialect_memref.alloc ctx EIr.Types.F64 [ 4; 4 ]) in
+  let c0 = at 20 (EIr.Dialect_arith.const_index ctx 0) in
+  let c9 = at 21 (EIr.Dialect_arith.const_index ctx 9) in
+  let free1 = at 22 (EIr.Dialect_memref.dealloc ctx (r buf)) in
+  (* use after dealloc (EV030) with a constant OOB index (EV033) *)
+  let uaf = at 23 (EIr.Dialect_memref.load ctx (r buf) [ r c9; r c0 ]) in
+  let free2 = at 24 (EIr.Dialect_memref.dealloc ctx (r buf)) in (* EV031 *)
+  let leaked = at 25 (EIr.Dialect_memref.alloc ctx EIr.Types.F64 [ 8 ]) in
+  let st =
+    at 26 (EIr.Dialect_memref.store ctx (r uaf) (r leaked) [ r c0 ])
+  in (* leaked is only loaded/stored and never freed -> EV032 *)
+  let k2 = at 27 (EIr.Dialect_arith.const_i ctx 2) in
+  let k3 = at 28 (EIr.Dialect_arith.const_i ctx 3) in
+  let dead = at 29 (EIr.Dialect_arith.muli ctx (r k2) (r k3)) in
+  (* ^ result unused -> EV010; operands constant -> EV013 *)
+  let call = at 30 (EIr.Dialect_func.call ctx "secrets" [] []) in
+  let mret = at 31 (EIr.Dialect_func.return ctx []) in
+  let main =
+    EIr.Ir.func "main" [] []
+      [ buf; c0; c9; free1; uaf; free2; leaked; st; k2; k3; dead; call; mret ]
+  in
+  EIr.Ir.modul "seeded" [ k_proc; orphan; secrets; main ]
+
+(* Lowered example workflows (the shapes of examples/): these must lint
+   cleanly — CI fails the build otherwise. *)
+let example_graphs () =
+  let quickstart =
+    let g = Sdk.workflow "quickstart" in
+    let src =
+      Dsl.Dataflow.source g "sensor" ~bytes:(1 lsl 16)
+        ~annots:[ Dsl.Annot.Access Dsl.Annot.Streaming ]
+    in
+    let x = TE.input "x" [ 64; 64 ] in
+    let smooth =
+      Dsl.Dataflow.task g "smooth"
+        (Dsl.Dataflow.Tensor_kernel (TE.scale 0.25 (TE.add x x)))
+        ~deps:[ src ]
+    in
+    let w = TE.input "w" [ 64; 64 ] in
+    let project =
+      Dsl.Dataflow.task g "project"
+        (Dsl.Dataflow.Tensor_kernel (TE.relu (TE.matmul w w)))
+        ~deps:[ smooth ]
+        ~annots:[ Dsl.Annot.Security EIr.Dialect_sec.Confidential ]
+    in
+    Dsl.Dataflow.sink g "result" project;
+    g
+  in
+  let forecast =
+    let g = Sdk.workflow "forecast" in
+    let src = Dsl.Dataflow.source g "meters" ~bytes:(1 lsl 20) in
+    let x = TE.input "x" [ 128; 128 ] in
+    let model =
+      Dsl.Dataflow.task g "model"
+        (Dsl.Dataflow.Tensor_kernel (TE.matmul x x))
+        ~deps:[ src ]
+        ~annots:[ Dsl.Annot.Locality "cloud" ]
+    in
+    Dsl.Dataflow.sink g "forecast" model;
+    g
+  in
+  [ ("quickstart", quickstart); ("forecast", forecast);
+    ("demo", demo_graph 64) ]
+
+let lint_cmd =
+  let files =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Textual IR module to lint.")
+  in
+  let demo =
+    Arg.(
+      value & flag
+      & info [ "demo" ]
+          ~doc:"Lint a module seeded with one defect per rule family.")
+  in
+  let examples =
+    Arg.(
+      value & flag
+      & info [ "examples" ]
+          ~doc:"Lint the lowered example workflow modules (must be clean).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~doc:"Output format: text, json.")
+  in
+  let run files demo examples format =
+    EIr.Registry.register_all ();
+    let read_file f =
+      let ic = open_in_bin f in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let mods =
+      List.map
+        (fun f ->
+          let ctx = EIr.Ir.ctx () in
+          (f, EIr.Parser.parse_module ctx (read_file f)))
+        files
+      @ (if demo then [ ("seeded", seeded_module ()) ] else [])
+      @
+      if examples then
+        List.map
+          (fun (name, g) ->
+            let ctx = EIr.Ir.ctx () in
+            (name, Dsl.Lower.lower_graph ctx g))
+          (example_graphs ())
+      else []
+    in
+    if mods = [] then (
+      prerr_endline
+        "lint: nothing to check (pass FILE arguments, --demo or --examples)";
+      exit 2);
+    let results = List.map (fun (name, m) -> (name, Lint.run m)) mods in
+    (match format with
+    | `Text ->
+        List.iter
+          (fun (name, ds) ->
+            Format.printf "== %s ==@.%s@." name (Lint.render_text ds))
+          results
+    | `Json ->
+        let items =
+          List.map
+            (fun (name, ds) ->
+              Printf.sprintf "{\"module\": \"%s\", \"report\": %s}" name
+                (String.trim (Lint.render_json ds)))
+            results
+        in
+        print_string ("[" ^ String.concat ",\n" items ^ "]\n"));
+    if List.exists (fun (_, ds) -> Lint.has_errors ds) results then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the static-analysis rules (EV0xx) over IR modules.")
+    Term.(const run $ files $ demo $ examples $ format)
+
 let () =
   let doc = "EVEREST SDK: compile, run and adapt HPDA applications." in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "everest_cli" ~doc)
-          [ compile_cmd; run_cmd; serve_cmd; hls_cmd; telemetry_cmd ]))
+          [ compile_cmd; run_cmd; serve_cmd; hls_cmd; telemetry_cmd; lint_cmd ]))

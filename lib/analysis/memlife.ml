@@ -1,0 +1,178 @@
+(* Memref lifetime checking.
+
+   Each memref-typed value carries a small state machine through a
+   forward dataflow walk: Alive after its producer, Freed after
+   memref.dealloc, MaybeFreed when paths disagree (e.g. a dealloc inside
+   one branch of an scf.if, or inside a loop body — the loop fixpoint
+   joins Alive with Freed).  Uses of Freed buffers are definite errors;
+   uses of MaybeFreed buffers are "possible" findings.
+
+   Constant out-of-bounds indices are checked against static memref
+   shapes with the facts of {!Constprop}, and allocations that are never
+   freed and never escape the function (returned, yielded, or passed to
+   anything but load/store/copy/dealloc) are reported as leaks. *)
+
+open Everest_ir
+module IntSet = Lattice.IntSet
+
+module BufState = struct
+  type t = Bot | Alive | Freed | MaybeFreed
+
+  let bottom = Bot
+  let equal = ( = )
+
+  let join a b =
+    match (a, b) with
+    | Bot, x | x, Bot -> x
+    | x, y when x = y -> x
+    | _ -> MaybeFreed
+
+  let pp ppf s =
+    Fmt.string ppf
+      (match s with
+      | Bot -> "bot"
+      | Alive -> "alive"
+      | Freed -> "freed"
+      | MaybeFreed -> "maybe-freed")
+end
+
+module M = Lattice.Int_map (BufState)
+module E = Dataflow.Make (M)
+
+type kind =
+  | Use_after_free of { definite : bool }
+  | Double_free of { definite : bool }
+  | Leak
+  | Out_of_bounds of { index : int; axis : int; dim : int }
+
+type issue = { i_op : Ir.op; i_vid : int; kind : kind }
+
+let is_memref (v : Ir.value) = Types.is_memref v.Ir.vty
+
+(* Ops whose memref operands do not let the buffer escape the function. *)
+let non_escaping_use = function
+  | "memref.load" | "memref.store" | "memref.copy" | "memref.dealloc" -> true
+  | _ -> false
+
+let escaping_vids (f : Ir.func) : IntSet.t =
+  Ir.fold_ops
+    (fun acc (o : Ir.op) ->
+      if non_escaping_use o.Ir.name then acc
+      else
+        List.fold_left
+          (fun acc (v : Ir.value) ->
+            if is_memref v then IntSet.add v.Ir.vid acc else acc)
+          acc o.Ir.operands)
+    IntSet.empty f.Ir.fbody
+
+let static_dims (v : Ir.value) : int list option =
+  match v.Ir.vty with
+  | Types.Memref { shape; _ } ->
+      let rec go = function
+        | [] -> Some []
+        | Types.Static d :: rest -> Option.map (fun l -> d :: l) (go rest)
+        | Types.Dyn :: _ -> None
+      in
+      go shape
+  | _ -> None
+
+let analyze (f : Ir.func) : issue list =
+  let consts = Constprop.analyze f in
+  let escaping = escaping_vids f in
+  let issues = ref [] in
+  let seen = Hashtbl.create 8 in
+  let allocs = ref [] in
+  let report (o : Ir.op) (v : Ir.value) kind =
+    let key = (o.Ir.name, v.Ir.vid, kind) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      issues := { i_op = o; i_vid = v.Ir.vid; kind } :: !issues
+    end
+  in
+  let check_use s (o : Ir.op) (v : Ir.value) =
+    match M.find v.Ir.vid s with
+    | BufState.Freed -> report o v (Use_after_free { definite = true })
+    | BufState.MaybeFreed -> report o v (Use_after_free { definite = false })
+    | _ -> ()
+  in
+  let check_indices (o : Ir.op) (m : Ir.value) (idxs : Ir.value list) =
+    match static_dims m with
+    | None -> ()
+    | Some dims ->
+        List.iteri
+          (fun axis (idx : Ir.value) ->
+            match (Constprop.fact consts idx, List.nth_opt dims axis) with
+            | Constprop.Known (Constprop.CInt i), Some d ->
+                if i < 0 || i >= d then
+                  report o m (Out_of_bounds { index = i; axis; dim = d })
+            | _ -> ())
+          idxs
+  in
+  let alive_results s (o : Ir.op) =
+    List.fold_left
+      (fun s (r : Ir.value) ->
+        if is_memref r then M.add r.Ir.vid BufState.Alive s else s)
+      s o.Ir.results
+  in
+  let transfer s (o : Ir.op) =
+    match o.Ir.name with
+    | "memref.alloc" ->
+        let r = Ir.result o in
+        if not (List.exists (fun (v, _) -> v = r.Ir.vid) !allocs) then
+          allocs := (r.Ir.vid, o) :: !allocs;
+        M.add r.Ir.vid BufState.Alive s
+    | "memref.dealloc" -> (
+        match o.Ir.operands with
+        | m :: _ ->
+            (match M.find m.Ir.vid s with
+            | BufState.Freed -> report o m (Double_free { definite = true })
+            | BufState.MaybeFreed ->
+                report o m (Double_free { definite = false })
+            | _ -> ());
+            M.add m.Ir.vid BufState.Freed s
+        | [] -> s)
+    | "memref.load" -> (
+        match o.Ir.operands with
+        | m :: idxs ->
+            check_use s o m;
+            check_indices o m idxs;
+            s
+        | [] -> s)
+    | "memref.store" -> (
+        match o.Ir.operands with
+        | _ :: m :: idxs ->
+            check_use s o m;
+            check_indices o m idxs;
+            s
+        | _ -> s)
+    | _ ->
+        (* any other op consuming a freed buffer is a use after free; any
+           memref it produces is a fresh live buffer *)
+        List.iter
+          (fun (v : Ir.value) -> if is_memref v then check_use s o v)
+          o.Ir.operands;
+        alive_results s o
+  in
+  let enter_block s _o (b : Ir.block) =
+    List.fold_left
+      (fun s (v : Ir.value) ->
+        if is_memref v then M.add v.Ir.vid BufState.Alive s else s)
+      s b.Ir.bargs
+  in
+  let init =
+    List.fold_left
+      (fun s (v : Ir.value) ->
+        if is_memref v then M.add v.Ir.vid BufState.Alive s else s)
+      M.bottom f.Ir.fargs
+  in
+  let final =
+    E.forward (E.hooks ~enter_block transfer) init f.Ir.fbody
+  in
+  (* local allocations still definitely alive at exit, with no escaping
+     use: leaked *)
+  List.iter
+    (fun (vid, (o : Ir.op)) ->
+      if M.find vid final = BufState.Alive && not (IntSet.mem vid escaping)
+      then report o (Ir.result o) Leak)
+    (List.rev !allocs);
+  List.rev !issues

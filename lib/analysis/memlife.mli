@@ -1,0 +1,16 @@
+(** Memref lifetime checking: use-after-dealloc, double-dealloc, leaked
+    allocations, and constant out-of-bounds indices against static
+    shapes.  Findings on paths that only may free a buffer are reported
+    with [definite = false]. *)
+
+open Everest_ir
+
+type kind =
+  | Use_after_free of { definite : bool }
+  | Double_free of { definite : bool }
+  | Leak
+  | Out_of_bounds of { index : int; axis : int; dim : int }
+
+type issue = { i_op : Ir.op; i_vid : int; kind : kind }
+
+val analyze : Ir.func -> issue list

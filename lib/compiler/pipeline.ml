@@ -27,11 +27,35 @@ type compiled_app = {
   dag : Everest_workflow.Dag.t;
   pass_reports : Everest_ir.Pass.report list;
   violations : (string * Everest_security.Ift.flow_violation) list;
+  lint : Everest_analysis.Lint.diag list;
 }
 
 exception Compile_error of string
 
-let compile ?pool ?cache ?(target = Variants.default_target)
+module Lint = Everest_analysis.Lint
+
+(* Lint gate: error diagnostics abort the compile by raising. *)
+let lint_gate ~stage m =
+  let ds = Lint.run m in
+  (match Lint.errors ds with
+  | [] -> ()
+  | errs ->
+      raise
+        (Compile_error (Fmt.str "lint (%s):@.%s" stage (Lint.render_text errs))));
+  ds
+
+let count_lint_warnings ds =
+  List.iter
+    (fun (d : Lint.diag) ->
+      if d.Lint.severity = Lint.Warning then
+        Everest_telemetry.Metrics.inc
+          (Everest_telemetry.Metrics.counter
+             ~labels:[ ("code", d.Lint.code) ]
+             ~help:"Lint warnings observed during compilation"
+             "compile_lint_warnings_total"))
+    ds
+
+let compile ?pool ?cache ?(target = Variants.default_target) ?(lint = true)
     (g : Dataflow.graph) : compiled_app =
   (match Dataflow.validate g with
   | Ok () -> ()
@@ -44,9 +68,17 @@ let compile ?pool ?cache ?(target = Variants.default_target)
   | Ok () -> ()
   | Error ds ->
       raise (Compile_error (Everest_ir.Verify.errors_to_string ds)));
-  (* middle-end: canonicalization pipeline *)
+  (* pre-flight static analysis over the freshly lowered module;
+     warnings are counted in telemetry (labelled by rule code) and kept
+     on the compiled app for inspection *)
+  let lint_diags = if lint then lint_gate ~stage:"pre-flight" ir0 else [] in
+  count_lint_warnings lint_diags;
+  (* middle-end: canonicalization pipeline.  The lint gate is pre-flight
+     only; callers who want per-pass linting can pass their own
+     [?lint_each] hook to [Pass.run_pipeline]. *)
   let ir, pass_reports =
-    Everest_ir.Pass.run_pipeline ctx Everest_ir.Transforms.standard_pipeline ir0
+    Everest_ir.Pass.run_pipeline ctx Everest_ir.Transforms.standard_pipeline
+      ir0
   in
   (* static security audit *)
   let violations = Everest_security.Ift.analyze_module ir in
@@ -124,7 +156,8 @@ let compile ?pool ?cache ?(target = Variants.default_target)
       (Dataflow.nodes g)
   in
   let dag = Everest_workflow.Dag.create g.Dataflow.gname tasks in
-  { app_name = g.Dataflow.gname; ir; kernels; dag; pass_reports; violations }
+  { app_name = g.Dataflow.gname; ir; kernels; dag; pass_reports; violations;
+    lint = lint_diags }
 
 let total_variants app =
   List.fold_left

@@ -24,6 +24,9 @@ type compiled_app = {
   pass_reports : Everest_ir.Pass.report list;
   violations : (string * Everest_security.Ift.flow_violation) list;
       (** Static information-flow audit results. *)
+  lint : Everest_analysis.Lint.diag list;
+      (** Pre-flight lint diagnostics (warnings and infos; errors abort
+          the compile). *)
 }
 
 exception Compile_error of string
@@ -31,11 +34,19 @@ exception Compile_error of string
 (** Compile a workflow graph.  Per-kernel DSE evaluates candidates on
     [pool] through [cache] (process-wide defaults when omitted, so warm
     re-compiles of the same kernels skip estimation).
-    @raise Compile_error on invalid graphs or IR verification failures. *)
+
+    Unless [lint] is [false], a pre-flight {!Everest_analysis.Lint} run
+    checks the freshly lowered module — error-severity diagnostics abort
+    the compile, warnings are counted in telemetry and kept on the
+    returned app.  Per-pass linting is available separately through the
+    [?lint_each] hook of {!Everest_ir.Pass.run_pipeline}.
+    @raise Compile_error on invalid graphs, IR verification failures, or
+    error-severity lint diagnostics. *)
 val compile :
   ?pool:Everest_parallel.Pool.t ->
   ?cache:Estimate_cache.t ->
   ?target:Variants.target ->
+  ?lint:bool ->
   Everest_dsl.Dataflow.graph ->
   compiled_app
 

@@ -13,7 +13,10 @@ let pp_report ppf r =
 
 exception Verification_failed of string * Verify.diag list
 
-let run_pipeline ?(verify_each = false) ctx passes m =
+(* [lint_each] receives the pass name and the module after every pass; it
+   is a callback (rather than a direct call into the lint engine) because
+   the analysis library layers above the IR.  It aborts by raising. *)
+let run_pipeline ?(verify_each = false) ?lint_each ctx passes m =
   let reports = ref [] in
   let m =
     List.fold_left
@@ -31,6 +34,7 @@ let run_pipeline ?(verify_each = false) ctx passes m =
           | Ok () -> ()
           | Error ds -> raise (Verification_failed (p.pass_name, ds))
         end;
+        (match lint_each with Some f -> f p.pass_name m' | None -> ());
         m')
       m passes
   in

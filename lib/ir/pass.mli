@@ -13,6 +13,12 @@ val pp_report : Format.formatter -> report -> unit
 exception Verification_failed of string * Verify.diag list
 
 (** Run the pipeline in order.  With [verify_each], {!Verify.check_module}
-    runs after every pass and failures raise {!Verification_failed}. *)
+    runs after every pass and failures raise {!Verification_failed}.
+    [lint_each], when given, is called after every pass (and after its
+    verification) with the pass name and the resulting module — the
+    [everest_analysis] lint gate is wired through here; it aborts the
+    pipeline by raising. *)
 val run_pipeline :
-  ?verify_each:bool -> Ir.ctx -> t list -> Ir.modul -> Ir.modul * report list
+  ?verify_each:bool ->
+  ?lint_each:(string -> Ir.modul -> unit) ->
+  Ir.ctx -> t list -> Ir.modul -> Ir.modul * report list

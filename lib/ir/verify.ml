@@ -4,17 +4,21 @@
    operands visible from enclosing scopes), per-op dialect verifiers, and
    call-graph integrity (callee symbols resolve, arities match). *)
 
-type diag = { in_func : string; op_name : string; message : string }
+type diag = { in_func : string; op_name : string; message : string; loc : Loc.t }
 
 let pp_diag ppf d =
-  Fmt.pf ppf "[%s] %s: %s" d.in_func d.op_name d.message
+  match d.loc with
+  | Loc.Unknown -> Fmt.pf ppf "[%s] %s: %s" d.in_func d.op_name d.message
+  | l -> Fmt.pf ppf "[%s] %s: %s (%a)" d.in_func d.op_name d.message Loc.pp l
 
 module IntSet = Set.Make (Int)
 
 let verify_func ?(allow_unregistered = false) (f : Ir.func) : diag list =
   let diags = ref [] in
-  let report op msg =
-    diags := { in_func = f.Ir.fname; op_name = op; message = msg } :: !diags
+  let report (o : Ir.op) msg =
+    diags :=
+      { in_func = f.Ir.fname; op_name = o.name; message = msg; loc = o.loc }
+      :: !diags
   in
   let rec check_ops scope ops =
     List.fold_left
@@ -22,14 +26,14 @@ let verify_func ?(allow_unregistered = false) (f : Ir.func) : diag list =
         List.iter
           (fun (v : Ir.value) ->
             if not (IntSet.mem v.vid scope) then
-              report o.name (Fmt.str "operand %%%d used before definition" v.vid))
+              report o (Fmt.str "operand %%%d used before definition" v.vid))
           o.operands;
         (match Dialect.lookup o.name with
         | Some def -> (
-            match def.verify o with Ok () -> () | Error m -> report o.name m)
+            match def.verify o with Ok () -> () | Error m -> report o m)
         | None ->
             if not allow_unregistered then
-              report o.name "operation not registered in any dialect");
+              report o "operation not registered in any dialect");
         List.iter
           (fun region ->
             List.iter
@@ -45,7 +49,7 @@ let verify_func ?(allow_unregistered = false) (f : Ir.func) : diag list =
         List.fold_left
           (fun s (v : Ir.value) ->
             if IntSet.mem v.vid s then
-              report o.name (Fmt.str "value %%%d redefined" v.vid);
+              report o (Fmt.str "value %%%d redefined" v.vid);
             IntSet.add v.vid s)
           scope o.results)
       scope ops
@@ -83,7 +87,7 @@ let verify_module ?(allow_unregistered = false) (m : Ir.modul) : diag list =
         | None ->
             Some
               { in_func = fname; op_name = o.name;
-                message = Fmt.str "callee @%s not found" callee }
+                message = Fmt.str "callee @%s not found" callee; loc = o.loc }
         | Some g ->
             if
               String.equal o.name "func.call"
@@ -91,7 +95,8 @@ let verify_module ?(allow_unregistered = false) (m : Ir.modul) : diag list =
             then
               Some
                 { in_func = fname; op_name = o.name;
-                  message = Fmt.str "call to @%s: arity mismatch" callee }
+                  message = Fmt.str "call to @%s: arity mismatch" callee;
+                  loc = o.loc }
             else None)
       !calls
   in

@@ -4,8 +4,11 @@
     bodies see enclosing definitions), per-op dialect verifiers, and
     call-graph integrity (callee symbols resolve, arities match). *)
 
-type diag = { in_func : string; op_name : string; message : string }
+(** A structured diagnostic; [loc] is the location of the offending op
+    (shared shape with the [everest_analysis] lint layer). *)
+type diag = { in_func : string; op_name : string; message : string; loc : Loc.t }
 
+(** Prints "[func] op: message", appending the location when known. *)
 val pp_diag : Format.formatter -> diag -> unit
 
 (** All diagnostics of one function.  [allow_unregistered] suppresses the

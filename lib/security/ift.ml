@@ -4,7 +4,18 @@
    analysis propagates levels through a function body and reports flows
    where data of a higher level reaches a sink whose clearance is lower
    (df.sink, memref.store to a lower-level buffer, or an explicit
-   sec.check).  [sec.encrypt] declassifies: ciphertext is Public. *)
+   sec.check).  [sec.encrypt] declassifies: ciphertext is Public.
+
+   Argument levels come from the positional [arg_levels] list when given;
+   remaining arguments take the function's "everest.security" attribute
+   (attached by the DSL front-end from [Annot.Security]), so annotated
+   kernels are analyzed correctly without a caller-supplied list.
+   Classification applied inside the body ([sec.classify] as the first
+   ops on the arguments) works as before.
+
+   Ops with regions join the levels yielded by their region terminators
+   into their results, so a value classified inside an [scf.if] branch
+   keeps its level when it flows out through [scf.yield]. *)
 
 open Everest_ir
 
@@ -15,13 +26,18 @@ type flow_violation = {
   source_level : level;
   sink_level : level;
   detail : string;
+  vloc : Loc.t;
 }
 
 let pp_violation ppf v =
-  Fmt.pf ppf "%s: %s data reaches %s sink (%s)" v.op_name
+  Fmt.pf ppf "%s: %s data reaches %s sink (%s)%a" v.op_name
     (Dialect_sec.level_name v.source_level)
     (Dialect_sec.level_name v.sink_level)
     v.detail
+    (fun ppf -> function
+      | Loc.Unknown -> ()
+      | l -> Fmt.pf ppf " at %a" Loc.pp l)
+    v.vloc
 
 let join (a : level) (b : level) = if Dialect_sec.level_leq a b then b else a
 
@@ -31,85 +47,123 @@ let analyze_func ?(arg_levels = []) (f : Ir.func) : flow_violation list =
   let level_of (v : Ir.value) =
     Option.value ~default:Dialect_sec.Public (Hashtbl.find_opt levels v.Ir.vid)
   in
+  let func_level =
+    Option.bind
+      (Attr.find_str "everest.security" f.Ir.fattrs)
+      Dialect_sec.level_of_name
+  in
   List.iteri
     (fun i (v : Ir.value) ->
-      match List.nth_opt arg_levels i with
-      | Some l -> Hashtbl.replace levels v.Ir.vid l
-      | None -> ())
+      match (List.nth_opt arg_levels i, func_level) with
+      | Some l, _ -> Hashtbl.replace levels v.Ir.vid l
+      | None, Some l -> Hashtbl.replace levels v.Ir.vid l
+      | None, None -> ())
     f.Ir.fargs;
   let violations = ref [] in
+  let violation (o : Ir.op) ~source ~sink detail =
+    violations :=
+      { op_name = o.Ir.name; source_level = source; sink_level = sink;
+        detail; vloc = o.Ir.loc }
+      :: !violations
+  in
   let sink_clearance (o : Ir.op) =
     match Ir.attr_str "everest.security" o with
     | Some s -> Option.value ~default:Dialect_sec.Public (Dialect_sec.level_of_name s)
     | None -> Dialect_sec.Public
   in
-  let rec walk ops =
+  let rec walk ops = List.iter step ops
+  and step (o : Ir.op) =
+    let in_level =
+      List.fold_left (fun acc v -> join acc (level_of v)) Dialect_sec.Public
+        o.Ir.operands
+    in
+    (* regions first: block args inherit the op input level, and the
+       levels of the region terminators feed the op results below *)
     List.iter
-      (fun (o : Ir.op) ->
-        let in_level =
-          List.fold_left (fun acc v -> join acc (level_of v)) Dialect_sec.Public
-            o.Ir.operands
-        in
-        (match o.Ir.name with
-        | "sec.classify" -> (
-            match
-              Option.bind (Ir.attr_str "level" o) Dialect_sec.level_of_name
-            with
-            | Some l ->
-                List.iter
-                  (fun (r : Ir.value) -> Hashtbl.replace levels r.Ir.vid (join l in_level))
-                  o.Ir.results
-            | None -> ())
-        | "sec.encrypt" | "sec.mac" ->
-            (* ciphertext / tags are public *)
-            List.iter
-              (fun (r : Ir.value) ->
-                Hashtbl.replace levels r.Ir.vid Dialect_sec.Public)
-              o.Ir.results
-        | "sec.decrypt" ->
-            List.iter
-              (fun (r : Ir.value) ->
-                Hashtbl.replace levels r.Ir.vid Dialect_sec.Confidential)
-              o.Ir.results
-        | "df.sink" ->
-            let clearance = sink_clearance o in
-            if not (Dialect_sec.level_leq in_level clearance) then
-              violations :=
-                { op_name = o.Ir.name; source_level = in_level;
-                  sink_level = clearance;
-                  detail =
-                    Option.value ~default:"?" (Ir.attr_str "name" o) }
-                :: !violations
-        | "memref.store" ->
-            let dst = List.nth o.Ir.operands 1 in
-            let clearance = level_of dst in
-            let data_level = level_of (List.hd o.Ir.operands) in
-            if not (Dialect_sec.level_leq data_level (join clearance Dialect_sec.Internal))
-               && clearance = Dialect_sec.Public
-            then
-              violations :=
-                { op_name = o.Ir.name; source_level = data_level;
-                  sink_level = clearance; detail = "store to public buffer" }
-                :: !violations;
-            List.iter
-              (fun (r : Ir.value) -> Hashtbl.replace levels r.Ir.vid in_level)
-              o.Ir.results
-        | _ ->
-            List.iter
-              (fun (r : Ir.value) -> Hashtbl.replace levels r.Ir.vid in_level)
-              o.Ir.results);
+      (fun region ->
         List.iter
-          (fun region ->
+          (fun (b : Ir.block) ->
             List.iter
-              (fun (b : Ir.block) ->
-                (* block args inherit the op input level *)
-                List.iter
-                  (fun (v : Ir.value) -> Hashtbl.replace levels v.Ir.vid in_level)
-                  b.Ir.bargs;
-                walk b.Ir.body)
-              region)
-          o.Ir.regions)
-      ops
+              (fun (v : Ir.value) -> Hashtbl.replace levels v.Ir.vid in_level)
+              b.Ir.bargs;
+            walk b.Ir.body)
+          region)
+      o.Ir.regions;
+    let yield_level =
+      List.fold_left
+        (fun acc (region : Ir.region) ->
+          List.fold_left
+            (fun acc (b : Ir.block) ->
+              match List.rev b.Ir.body with
+              | (t : Ir.op) :: _
+                when String.equal t.Ir.name "scf.yield"
+                     || String.equal t.Ir.name "hw.yield" ->
+                  List.fold_left
+                    (fun acc v -> join acc (level_of v))
+                    acc t.Ir.operands
+              | _ -> acc)
+            acc region)
+        Dialect_sec.Public o.Ir.regions
+    in
+    let out_level = join in_level yield_level in
+    match o.Ir.name with
+    | "sec.classify" -> (
+        match
+          Option.bind (Ir.attr_str "level" o) Dialect_sec.level_of_name
+        with
+        | Some l ->
+            List.iter
+              (fun (r : Ir.value) -> Hashtbl.replace levels r.Ir.vid (join l in_level))
+              o.Ir.results
+        | None -> ())
+    | "sec.encrypt" | "sec.mac" ->
+        (* ciphertext / tags are public *)
+        List.iter
+          (fun (r : Ir.value) ->
+            Hashtbl.replace levels r.Ir.vid Dialect_sec.Public)
+          o.Ir.results
+    | "sec.decrypt" ->
+        List.iter
+          (fun (r : Ir.value) ->
+            Hashtbl.replace levels r.Ir.vid Dialect_sec.Confidential)
+          o.Ir.results
+    | "sec.taint" ->
+        (* tainted data is at least Confidential until checked *)
+        List.iter
+          (fun (r : Ir.value) ->
+            Hashtbl.replace levels r.Ir.vid
+              (join in_level Dialect_sec.Confidential))
+          o.Ir.results
+    | "sec.check" ->
+        (* explicit check point: a sink whose clearance comes from the
+           everest.security attribute (default Public) *)
+        let clearance = sink_clearance o in
+        if not (Dialect_sec.level_leq in_level clearance) then
+          violation o ~source:in_level ~sink:clearance "sec.check point";
+        List.iter
+          (fun (r : Ir.value) -> Hashtbl.replace levels r.Ir.vid in_level)
+          o.Ir.results
+    | "df.sink" ->
+        let clearance = sink_clearance o in
+        if not (Dialect_sec.level_leq in_level clearance) then
+          violation o ~source:in_level ~sink:clearance
+            (Option.value ~default:"?" (Ir.attr_str "name" o))
+    | "memref.store" ->
+        let dst = List.nth o.Ir.operands 1 in
+        let clearance = level_of dst in
+        let data_level = level_of (List.hd o.Ir.operands) in
+        if not (Dialect_sec.level_leq data_level (join clearance Dialect_sec.Internal))
+           && clearance = Dialect_sec.Public
+        then
+          violation o ~source:data_level ~sink:clearance
+            "store to public buffer";
+        List.iter
+          (fun (r : Ir.value) -> Hashtbl.replace levels r.Ir.vid in_level)
+          o.Ir.results
+    | _ ->
+        List.iter
+          (fun (r : Ir.value) -> Hashtbl.replace levels r.Ir.vid out_level)
+          o.Ir.results
   in
   walk f.Ir.fbody;
   List.rev !violations

@@ -150,6 +150,94 @@ let test_ift_propagates_through_compute () =
   checki "internal level flows through matmul" 1 (List.length vs);
   checkb "level preserved" true ((List.hd vs).Ift.source_level = Sec.Internal)
 
+let test_ift_decrypt_reclassifies () =
+  (* encrypt declassifies, but decrypting brings the data back to
+     Confidential: sinking the plaintext publicly must be flagged *)
+  let ctx = Ir.ctx () in
+  let x = Ir.fresh_value ctx (Types.tensor Types.F64 [ 8 ]) in
+  let key = Ir.fresh_value ctx Types.f64 in
+  let cls = Sec.classify ctx x Sec.Secret in
+  let enc = Sec.encrypt ctx (Ir.result cls) key in
+  let dec = Sec.decrypt ctx (Ir.result enc) key in
+  let sink = Everest_ir.Dialect_df.sink ctx "out" (Ir.result dec) in
+  let f =
+    Ir.func "roundtrip" [ x; key ] []
+      [ cls; enc; dec; sink; Everest_ir.Dialect_func.return ctx [] ]
+  in
+  let vs = Ift.analyze_func f in
+  checki "plaintext leak flagged" 1 (List.length vs);
+  checkb "confidential after decrypt" true
+    ((List.hd vs).Ift.source_level = Sec.Confidential)
+
+let test_ift_taint_check () =
+  let ctx = Ir.ctx () in
+  let x = Ir.fresh_value ctx (Types.tensor Types.F64 [ 8 ]) in
+  (* tainted data hitting an uncleared check point is a violation *)
+  let t1 = Sec.taint ctx x in
+  let chk1 = Sec.check ctx (Ir.result t1) in
+  let f1 =
+    Ir.func "t1" [ x ] [] [ t1; chk1; Everest_ir.Dialect_func.return ctx [] ]
+  in
+  let vs = Ift.analyze_func f1 in
+  checki "uncleared check fires" 1 (List.length vs);
+  checkb "check is the sink" true
+    (String.equal (List.hd vs).Ift.op_name "sec.check");
+  (* a check point cleared for Confidential accepts the tainted data *)
+  let ctx = Ir.ctx () in
+  let y = Ir.fresh_value ctx (Types.tensor Types.F64 [ 8 ]) in
+  let t2 = Sec.taint ctx y in
+  let chk2 =
+    Ir.with_attr "everest.security" (Everest_ir.Attr.str "confidential")
+      (Sec.check ctx (Ir.result t2))
+  in
+  let f2 =
+    Ir.func "t2" [ y ] [] [ t2; chk2; Everest_ir.Dialect_func.return ctx [] ]
+  in
+  checki "cleared check passes" 0 (List.length (Ift.analyze_func f2))
+
+let test_ift_region_yield_join () =
+  (* a value classified Secret inside one scf.if arm keeps its level when
+     it flows out through scf.yield and into a public sink *)
+  let ctx = Ir.ctx () in
+  let x = Ir.fresh_value ctx (Types.tensor Types.F64 [ 8 ]) in
+  let cond = Ir.fresh_value ctx Types.i1 in
+  let iff =
+    Everest_ir.Dialect_scf.if_ ~ret_types:[ Types.tensor Types.F64 [ 8 ] ] ctx
+      cond
+      (fun ctx ->
+        let cls = Sec.classify ctx x Sec.Secret in
+        ([ cls ], [ Ir.result cls ]))
+      (fun _ctx -> ([], [ x ]))
+  in
+  let sink = Everest_ir.Dialect_df.sink ctx "out" (Ir.result iff) in
+  let f =
+    Ir.func "branchy" [ x; cond ] []
+      [ iff; sink; Everest_ir.Dialect_func.return ctx [] ]
+  in
+  let vs = Ift.analyze_func f in
+  checki "secret escapes through yield" 1 (List.length vs);
+  checkb "secret source" true ((List.hd vs).Ift.source_level = Sec.Secret)
+
+let test_ift_fattr_arg_levels () =
+  (* arguments of a function annotated Security Secret are analyzed at
+     that level without a caller-supplied arg_levels list *)
+  let ctx = Ir.ctx () in
+  let x = Ir.fresh_value ctx (Types.tensor Types.F64 [ 8 ]) in
+  let sink = Everest_ir.Dialect_df.sink ctx "out" x in
+  let f =
+    Ir.func
+      ~attrs:[ ("everest.security", Everest_ir.Attr.str "secret") ]
+      "annotated" [ x ] []
+      [ sink; Everest_ir.Dialect_func.return ctx [] ]
+  in
+  let vs = Ift.analyze_func f in
+  checki "annotated arg leaks" 1 (List.length vs);
+  checkb "secret from the fattr" true
+    ((List.hd vs).Ift.source_level = Sec.Secret);
+  (* positional arg_levels still wins over the attribute *)
+  checki "positional override" 0
+    (List.length (Ift.analyze_func ~arg_levels:[ Sec.Public ] f))
+
 (* ---- monitors ------------------------------------------------------------------- *)
 
 let test_timing_monitor () =
@@ -260,7 +348,11 @@ let () =
         [ Alcotest.test_case "leak detected" `Quick test_ift_detects_leak;
           Alcotest.test_case "encrypt declassifies" `Quick test_ift_encrypt_declassifies;
           Alcotest.test_case "cleared sink" `Quick test_ift_cleared_sink;
-          Alcotest.test_case "flows through compute" `Quick test_ift_propagates_through_compute ] );
+          Alcotest.test_case "flows through compute" `Quick test_ift_propagates_through_compute;
+          Alcotest.test_case "decrypt reclassifies" `Quick test_ift_decrypt_reclassifies;
+          Alcotest.test_case "taint/check" `Quick test_ift_taint_check;
+          Alcotest.test_case "region yield join" `Quick test_ift_region_yield_join;
+          Alcotest.test_case "fattr arg levels" `Quick test_ift_fattr_arg_levels ] );
       ( "monitors",
         [ Alcotest.test_case "timing" `Quick test_timing_monitor;
           Alcotest.test_case "range" `Quick test_range_monitor;
