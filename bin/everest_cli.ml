@@ -2,8 +2,9 @@
 
      everest_cli compile [--size N] [--emit ir|sycl|rtl|variants]
          compile the demo tensor pipeline and print the requested artifact
-     everest_cli run [--policy P] [--fpgas K]
-         compile and execute the demo workflow on the simulated demonstrator
+     everest_cli run [--policy P] [--fpgas K] [--kill NODE:T]..
+         compile and execute the demo workflow on the simulated
+         demonstrator; exhausted recovery exits 1 with a structured error
      everest_cli serve [--requests N] [--goal time|energy]
          adaptively serve the hot kernel through the virtualized runtime
      everest_cli hls [--unroll U] [--dift]
@@ -11,6 +12,10 @@
      everest_cli telemetry [--trace-out F] [--metrics-out F] [--format t|p]
          run the demonstrator workflow + adaptive serving fully
          instrumented; emit a Chrome trace-event JSON and a metrics dump
+     everest_cli chaos [--seed S] [--fault-rate R] [--format text|json]
+         deterministic fault-injection drill: run the example workflows
+         under a seeded fault plan with the recovery policy on, twice,
+         plus a circuit-breaker degradation demo; exit 1 on any failure
      everest_cli lint [FILE..] [--demo] [--examples] [--format text|json]
          run the static-analysis rules over textual IR modules (or the
          seeded-defect / lowered-example modules); exit 1 on errors  *)
@@ -78,6 +83,21 @@ let compile_cmd =
 
 (* ---- run ------------------------------------------------------------------- *)
 
+(* NODE:TIME pairs for --kill, shared by run and telemetry. *)
+let node_time_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | Some i -> (
+        let node = String.sub s 0 i
+        and t = String.sub s (i + 1) (String.length s - i - 1) in
+        match float_of_string_opt t with
+        | Some t when node <> "" -> Ok (node, t)
+        | _ -> Error (`Msg "expected NODE:TIME, e.g. cf0:0.0001"))
+    | None -> Error (`Msg "expected NODE:TIME, e.g. cf0:0.0001")
+  in
+  let print ppf (n, t) = Format.fprintf ppf "%s:%g" n t in
+  Cmdliner.Arg.conv (parse, print)
+
 let run_cmd =
   let policy =
     Arg.(
@@ -90,13 +110,41 @@ let run_cmd =
   let size =
     Arg.(value & opt int 128 & info [ "size" ] ~docv:"N" ~doc:"Tensor size.")
   in
-  let run policy fpgas size =
+  let kills =
+    Arg.(
+      value & opt_all node_time_conv []
+      & info [ "kill" ] ~docv:"NODE:T"
+          ~doc:"Fail node NODE permanently at simulated time T (repeatable).")
+  in
+  let retries =
+    Arg.(
+      value & opt int 3
+      & info [ "retries" ] ~doc:"Per-task retry budget under --kill.")
+  in
+  let run policy fpgas size kills retries =
+    let module Res = Everest_resilience in
+    let module Wf = Sdk.Workflow in
     let app = Sdk.compile (demo_graph size) in
-    let stats = Sdk.run ~policy ~cloud_fpgas:fpgas app in
-    Format.printf "%a@." Sdk.pp_run stats
+    let faults = Res.Faults.of_failures kills in
+    let exec_policy = { Res.Policy.default with Res.Policy.max_retries = retries } in
+    match Sdk.run ~policy ~cloud_fpgas:fpgas ~faults ~exec_policy app with
+    | stats -> Format.printf "%a@." Sdk.pp_run stats
+    | exception Wf.Executor.Execution_failed { reason; partial } ->
+        let total = Array.length partial.Wf.Executor.task_finish in
+        let completed =
+          Array.fold_left
+            (fun acc f -> if f >= 0.0 then acc + 1 else acc)
+            0 partial.Wf.Executor.task_finish
+        in
+        Format.eprintf
+          "error: execution failed: %s@.  completed %d/%d tasks, retries=%d \
+           timeouts=%d recomputed=%d@."
+          reason completed total partial.Wf.Executor.retries
+          partial.Wf.Executor.timeouts partial.Wf.Executor.recomputed;
+        exit 1
   in
   Cmd.v (Cmd.info "run" ~doc:"Run the demo workflow on the demonstrator.")
-    Term.(const run $ policy $ fpgas $ size)
+    Term.(const run $ policy $ fpgas $ size $ kills $ retries)
 
 (* ---- serve ----------------------------------------------------------------- *)
 
@@ -173,23 +221,8 @@ let telemetry_cmd =
       & info [ "requests" ] ~doc:"Closed-loop requests in the serving phase.")
   in
   let kill =
-    let node_time =
-      let parse s =
-        match String.rindex_opt s ':' with
-        | Some i -> (
-            let node = String.sub s 0 i
-            and t = String.sub s (i + 1) (String.length s - i - 1) in
-            match float_of_string_opt t with
-            | Some t when node <> "" -> Ok (node, t)
-            | _ -> Error (`Msg "expected NODE:TIME, e.g. cf0:0.0001")
-          )
-        | None -> Error (`Msg "expected NODE:TIME, e.g. cf0:0.0001")
-      in
-      let print ppf (n, t) = Format.fprintf ppf "%s:%g" n t in
-      Arg.conv (parse, print)
-    in
     Arg.(
-      value & opt (some node_time) None
+      value & opt (some node_time_conv) None
       & info [ "kill" ] ~docv:"NODE:T"
           ~doc:"Fail node NODE at simulated time T (exercises retries).")
   in
@@ -303,6 +336,313 @@ let telemetry_cmd =
       const run $ size $ policy $ requests $ kill $ trace_out $ metrics_out
       $ format)
 
+(* ---- example workflows ----------------------------------------------------- *)
+
+(* Lowered example workflows (the shapes of examples/): linted by `lint
+   --examples` (must be clean) and stressed by the `chaos` drill. *)
+let example_graphs () =
+  let quickstart =
+    let g = Sdk.workflow "quickstart" in
+    let src =
+      Dsl.Dataflow.source g "sensor" ~bytes:(1 lsl 16)
+        ~annots:[ Dsl.Annot.Access Dsl.Annot.Streaming ]
+    in
+    let x = TE.input "x" [ 64; 64 ] in
+    let smooth =
+      Dsl.Dataflow.task g "smooth"
+        (Dsl.Dataflow.Tensor_kernel (TE.scale 0.25 (TE.add x x)))
+        ~deps:[ src ]
+    in
+    let w = TE.input "w" [ 64; 64 ] in
+    let project =
+      Dsl.Dataflow.task g "project"
+        (Dsl.Dataflow.Tensor_kernel (TE.relu (TE.matmul w w)))
+        ~deps:[ smooth ]
+        ~annots:[ Dsl.Annot.Security EIr.Dialect_sec.Confidential ]
+    in
+    Dsl.Dataflow.sink g "result" project;
+    g
+  in
+  let forecast =
+    let g = Sdk.workflow "forecast" in
+    let src = Dsl.Dataflow.source g "meters" ~bytes:(1 lsl 20) in
+    let x = TE.input "x" [ 128; 128 ] in
+    let model =
+      Dsl.Dataflow.task g "model"
+        (Dsl.Dataflow.Tensor_kernel (TE.matmul x x))
+        ~deps:[ src ]
+        ~annots:[ Dsl.Annot.Locality "cloud" ]
+    in
+    Dsl.Dataflow.sink g "forecast" model;
+    g
+  in
+  [ ("quickstart", quickstart); ("forecast", forecast);
+    ("demo", demo_graph 64) ]
+
+(* ---- chaos ----------------------------------------------------------------- *)
+
+(* Fault-injection drill over the example workflows plus a breaker demo on
+   the serving side.  Every verdict is derived from the seed, so the whole
+   report is reproducible: the command runs each workflow twice and fails
+   (exit 1) if the two runs disagree, if any workflow cannot complete, or if
+   the breaker never recovers. *)
+let chaos_cmd =
+  let module Res = Everest_resilience in
+  let module Wf = Sdk.Workflow in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Fault-plan seed.")
+  in
+  let fault_rate =
+    Arg.(
+      value & opt float 0.2
+      & info [ "fault-rate" ] ~docv:"R"
+          ~doc:"Per-node crash probability over the run.")
+  in
+  let mean_downtime =
+    Arg.(
+      value & opt float 0.25
+      & info [ "mean-downtime" ] ~docv:"F"
+          ~doc:
+            "Mean downtime as a fraction of the clean makespan (0 = crashed \
+             nodes never restart).")
+  in
+  let transient =
+    Arg.(
+      value & opt float 0.05
+      & info [ "transient" ] ~docv:"P"
+          ~doc:"Per-attempt transient task-failure probability.")
+  in
+  let fpga_transient =
+    Arg.(
+      value & opt float 0.02
+      & info [ "fpga-transient" ] ~docv:"P"
+          ~doc:"Extra transient probability for FPGA executions.")
+  in
+  let sched =
+    Arg.(
+      value & opt string "heft-locality"
+      & info [ "policy" ] ~doc:"Scheduling policy for the workflows.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 8
+      & info [ "retries" ] ~docv:"N" ~doc:"Per-task retry budget.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~doc:"Report format: text, json.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the report to FILE.")
+  in
+  let run seed fault_rate mean_downtime transient fpga_transient sched retries
+      format out =
+    let exec_policy = { Res.Policy.chaos with Res.Policy.max_retries = retries } in
+    let nodes =
+      List.map
+        (fun (n : Sdk.Platform.Node.t) -> n.Sdk.Platform.Node.name)
+        (Sdk.Platform.Cluster.everest_demonstrator ()).Sdk.Platform.Cluster.nodes
+    in
+    let drill (name, dag) =
+      let _, clean = Wf.Executor.run_on_demonstrator ~policy:sched dag in
+      let clean_makespan = clean.Wf.Executor.makespan in
+      let faults =
+        Res.Faults.random_plan ~seed ~fault_rate
+          ~mean_downtime:(mean_downtime *. clean_makespan)
+          ~transient_prob:transient ~fpga_transient_prob:fpga_transient
+          ~nodes ~horizon:clean_makespan ()
+      in
+      let once () =
+        match
+          Wf.Executor.run_on_demonstrator ~policy:sched ~faults ~exec_policy
+            dag
+        with
+        | _, s -> Ok s
+        | exception Wf.Executor.Execution_failed { reason; partial } ->
+            Error (reason, partial)
+      in
+      let completed (s : Wf.Executor.stats) =
+        Array.fold_left
+          (fun acc f -> if f >= 0.0 then acc + 1 else acc)
+          0 s.Wf.Executor.task_finish
+      in
+      let summary = function
+        | Ok (s : Wf.Executor.stats) ->
+            ( s.Wf.Executor.makespan, completed s, s.Wf.Executor.retries,
+              s.Wf.Executor.timeouts, s.Wf.Executor.speculative,
+              s.Wf.Executor.recomputed )
+        | Error (_, (p : Wf.Executor.stats)) ->
+            ( p.Wf.Executor.makespan, completed p, p.Wf.Executor.retries,
+              p.Wf.Executor.timeouts, p.Wf.Executor.speculative,
+              p.Wf.Executor.recomputed )
+      in
+      let a = once () in
+      let b = once () in
+      let reproducible = summary a = summary b in
+      (name, Sdk.Workflow.Dag.size dag, clean_makespan, a, reproducible)
+    in
+    let dags =
+      List.map
+        (fun (name, g) -> (name, (Sdk.compile g).Everest_compiler.Pipeline.dag))
+        (example_graphs ())
+      (* the example graphs are tiny; a layered stress DAG long enough for
+         crashes, stragglers and lost outputs to actually bite *)
+      @ [ ("stress",
+           Wf.Dag.layered ~seed ~layers:5 ~width:4 ~flops:2e9 ~bytes:1e6 ()) ]
+    in
+    let reports = List.map drill dags in
+    (* breaker demo: the hw variant fails for a while, the breaker opens,
+       requests degrade to sw, a half-open probe brings hw back *)
+    let cluster = Sdk.Platform.Cluster.create [ Sdk.Platform.Cluster.power9_node "p9" ] in
+    let orch = Sdk.Runtime.Orchestrator.create cluster ~host_name:"p9" in
+    let estimate =
+      { Everest_hls.Estimate.area = Everest_hls.Estimate.zero_area;
+        cycles = 100_000; ii = 1; clock_mhz = 250.0; dynamic_power_w = 8.0 }
+    in
+    let dk =
+      Sdk.Runtime.Orchestrator.deploy orch
+        ~breaker:
+          { Res.Breaker.failure_threshold = 2; cooldown_s = 0.01;
+            half_open_probes = 1 }
+        ~kname:"k"
+        ~impls:
+          [ ("sw", Sdk.Runtime.Orchestrator.Sw { flops = 5e8; bytes = 1e5; threads = 2 });
+            ("hw",
+             Sdk.Runtime.Orchestrator.Hw
+               { bitstream = "k"; estimate; in_bytes = 4096; out_bytes = 4096 }) ]
+        ~knowledge:
+          (Everest_autotune.Knowledge.create "k"
+             [ { Everest_autotune.Knowledge.variant = "sw"; features = [];
+                 metrics = [ ("time_s", 0.01) ] };
+               { Everest_autotune.Knowledge.variant = "hw"; features = [];
+                 metrics = [ ("time_s", 0.001) ] } ])
+        ~goal:
+          (Everest_autotune.Goal.make (Everest_autotune.Goal.Minimize "time_s"))
+    in
+    let hw_outage = 6 in
+    let log =
+      Sdk.Runtime.Orchestrator.serve orch ~kernel:"k" ~n:30
+        ~policy:(Sdk.Runtime.Orchestrator.Fixed "hw")
+        ~fail:(fun ~req ~variant ~attempt:_ ->
+          req < hw_outage && String.equal variant "hw")
+        ()
+    in
+    let breaker_opens =
+      List.fold_left
+        (fun acc (_, b) -> acc + Res.Breaker.opens b)
+        0 dk.Sdk.Runtime.Orchestrator.breakers
+    in
+    let breaker_recovered =
+      Sdk.Runtime.Orchestrator.breaker_state orch dk ~variant:"hw"
+      = Some Res.Breaker.Closed
+    in
+    let degraded = Sdk.Runtime.Orchestrator.degraded_requests log in
+    let availability = Sdk.Runtime.Orchestrator.availability log in
+    let all_ok =
+      List.for_all
+        (fun (_, size, _, r, reproducible) ->
+          reproducible
+          && match r with Ok s -> Array.length s.Wf.Executor.task_finish = size
+                                  && Array.for_all (fun f -> f >= 0.0) s.Wf.Executor.task_finish
+                        | Error _ -> false)
+        reports
+      && breaker_opens >= 1 && breaker_recovered && degraded >= 1
+    in
+    let buf = Buffer.create 2048 in
+    (match format with
+    | `Text ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "chaos drill: seed=%d fault-rate=%g transient=%g policy=%s\n\n"
+             seed fault_rate transient sched);
+        List.iter
+          (fun (name, size, clean_ms, r, reproducible) ->
+            match r with
+            | Ok (s : Wf.Executor.stats) ->
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "  %-10s %d/%d tasks  makespan %.4gs (clean %.4gs, \
+                      +%.0f%%)  retries=%d timeouts=%d speculative=%d \
+                      recomputed=%d  %s\n"
+                     name size size s.Wf.Executor.makespan clean_ms
+                     ((s.Wf.Executor.makespan /. clean_ms -. 1.0) *. 100.0)
+                     s.Wf.Executor.retries s.Wf.Executor.timeouts
+                     s.Wf.Executor.speculative s.Wf.Executor.recomputed
+                     (if reproducible then "reproducible"
+                      else "NON-DETERMINISTIC"))
+            | Error (reason, p) ->
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "  %-10s FAILED: %s (%d tasks done, retries=%d)\n" name
+                     reason
+                     (Array.fold_left
+                        (fun acc f -> if f >= 0.0 then acc + 1 else acc)
+                        0 p.Wf.Executor.task_finish)
+                     p.Wf.Executor.retries))
+          reports;
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\nbreaker demo: %d requests, availability %.0f%%, %d degraded \
+              to sw, breaker opened %d time(s), %s\n"
+             (List.length log) (availability *. 100.0) degraded breaker_opens
+             (if breaker_recovered then "recovered (closed)"
+              else "NOT RECOVERED"));
+        Buffer.add_string buf
+          (if all_ok then "\nchaos drill passed\n"
+           else "\nchaos drill FAILED\n")
+    | `Json ->
+        let graph_json (name, size, clean_ms, r, reproducible) =
+          match r with
+          | Ok (s : Wf.Executor.stats) ->
+              Printf.sprintf
+                "{\"graph\": \"%s\", \"tasks\": %d, \"completed\": %d, \
+                 \"clean_makespan_s\": %.17g, \"makespan_s\": %.17g, \
+                 \"retries\": %d, \"timeouts\": %d, \"speculative\": %d, \
+                 \"recomputed\": %d, \"reproducible\": %b}"
+                name size size clean_ms s.Wf.Executor.makespan
+                s.Wf.Executor.retries s.Wf.Executor.timeouts
+                s.Wf.Executor.speculative s.Wf.Executor.recomputed reproducible
+          | Error (reason, p) ->
+              Printf.sprintf
+                "{\"graph\": \"%s\", \"tasks\": %d, \"completed\": %d, \
+                 \"error\": \"%s\", \"retries\": %d, \"reproducible\": %b}"
+                name size
+                (Array.fold_left
+                   (fun acc f -> if f >= 0.0 then acc + 1 else acc)
+                   0 p.Wf.Executor.task_finish)
+                (String.escaped reason) p.Wf.Executor.retries reproducible
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"seed\": %d, \"fault_rate\": %g, \"transient_prob\": %g, \
+              \"policy\": \"%s\",\n\
+              \ \"workflows\": [%s],\n\
+              \ \"breaker_demo\": {\"requests\": %d, \"availability\": %g, \
+              \"degraded\": %d, \"opens\": %d, \"recovered\": %b},\n\
+              \ \"passed\": %b}\n"
+             seed fault_rate transient sched
+             (String.concat ", " (List.map graph_json reports))
+             (List.length log) availability degraded breaker_opens
+             breaker_recovered all_ok));
+    (match out with
+    | None -> print_string (Buffer.contents buf)
+    | Some f ->
+        let oc = open_out f in
+        Buffer.output_buffer oc buf;
+        close_out oc);
+    if not all_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Deterministic fault-injection drill over the example workflows.")
+    Term.(
+      const run $ seed $ fault_rate $ mean_downtime $ transient
+      $ fpga_transient $ sched $ retries $ format $ out)
+
 (* ---- lint ------------------------------------------------------------------ *)
 
 (* A module seeded with one instance of every defect family the lint rules
@@ -368,47 +708,6 @@ let seeded_module () =
       [ buf; c0; c9; free1; uaf; free2; leaked; st; k2; k3; dead; call; mret ]
   in
   EIr.Ir.modul "seeded" [ k_proc; orphan; secrets; main ]
-
-(* Lowered example workflows (the shapes of examples/): these must lint
-   cleanly — CI fails the build otherwise. *)
-let example_graphs () =
-  let quickstart =
-    let g = Sdk.workflow "quickstart" in
-    let src =
-      Dsl.Dataflow.source g "sensor" ~bytes:(1 lsl 16)
-        ~annots:[ Dsl.Annot.Access Dsl.Annot.Streaming ]
-    in
-    let x = TE.input "x" [ 64; 64 ] in
-    let smooth =
-      Dsl.Dataflow.task g "smooth"
-        (Dsl.Dataflow.Tensor_kernel (TE.scale 0.25 (TE.add x x)))
-        ~deps:[ src ]
-    in
-    let w = TE.input "w" [ 64; 64 ] in
-    let project =
-      Dsl.Dataflow.task g "project"
-        (Dsl.Dataflow.Tensor_kernel (TE.relu (TE.matmul w w)))
-        ~deps:[ smooth ]
-        ~annots:[ Dsl.Annot.Security EIr.Dialect_sec.Confidential ]
-    in
-    Dsl.Dataflow.sink g "result" project;
-    g
-  in
-  let forecast =
-    let g = Sdk.workflow "forecast" in
-    let src = Dsl.Dataflow.source g "meters" ~bytes:(1 lsl 20) in
-    let x = TE.input "x" [ 128; 128 ] in
-    let model =
-      Dsl.Dataflow.task g "model"
-        (Dsl.Dataflow.Tensor_kernel (TE.matmul x x))
-        ~deps:[ src ]
-        ~annots:[ Dsl.Annot.Locality "cloud" ]
-    in
-    Dsl.Dataflow.sink g "forecast" model;
-    g
-  in
-  [ ("quickstart", quickstart); ("forecast", forecast);
-    ("demo", demo_graph 64) ]
 
 let lint_cmd =
   let files =
@@ -491,4 +790,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "everest_cli" ~doc)
-          [ compile_cmd; run_cmd; serve_cmd; hls_cmd; telemetry_cmd; lint_cmd ]))
+          [ compile_cmd; run_cmd; serve_cmd; hls_cmd; telemetry_cmd; chaos_cmd;
+            lint_cmd ]))

@@ -40,10 +40,10 @@ type run_stats = {
 }
 
 let run ?(policy = "heft-locality") ?(cloud_fpgas = 4) ?(edges = 2)
-    ?(endpoints = 4) (app : app) : run_stats =
+    ?(endpoints = 4) ?faults ?exec_policy (app : app) : run_stats =
   let plan, stats =
     Workflow.Executor.run_on_demonstrator ~cloud_fpgas ~edges ~endpoints
-      ~policy app.Compiler.Pipeline.dag
+      ?faults ?exec_policy ~policy app.Compiler.Pipeline.dag
   in
   {
     makespan_s = stats.Workflow.Executor.makespan;

@@ -41,9 +41,15 @@ type run_stats = {
   policy : string;
 }
 
-(** Execute the compiled workflow on a fresh EVEREST demonstrator. *)
+(** Execute the compiled workflow on a fresh EVEREST demonstrator.
+    [faults] injects a deterministic fault plan and [exec_policy] sets the
+    recovery policy (defaults: no faults, {!Everest_resilience.Policy.default}).
+    @raise Everest_workflow.Executor.Execution_failed when recovery is
+    exhausted; the exception carries the partial stats. *)
 val run :
-  ?policy:string -> ?cloud_fpgas:int -> ?edges:int -> ?endpoints:int -> app ->
+  ?policy:string -> ?cloud_fpgas:int -> ?edges:int -> ?endpoints:int ->
+  ?faults:Everest_resilience.Faults.t ->
+  ?exec_policy:Everest_resilience.Policy.t -> app ->
   run_stats
 
 (** Run the same application under several scheduling policies. *)

@@ -1,0 +1,43 @@
+(** Three-state circuit breaker (closed / open / half-open) over an
+    external clock — pass [~now] everywhere, so the same breaker works on
+    wall or simulated time.
+
+    Closed counts consecutive failures and opens at the threshold; open
+    rejects everything until [cooldown_s] has elapsed, then half-open
+    admits up to [half_open_probes] probe calls: one success closes the
+    breaker, one failure re-opens it. *)
+
+type state = Closed | Open | Half_open
+
+val state_name : state -> string
+
+type config = {
+  failure_threshold : int;
+  cooldown_s : float;
+  half_open_probes : int;
+}
+
+val default_config : config
+
+type t
+
+(** @raise Invalid_argument on non-positive threshold or probe count. *)
+val create : ?config:config -> unit -> t
+
+(** Current state, lazily promoting open to half-open after the cooldown. *)
+val state : t -> now:float -> state
+
+(** May a call proceed?  Half-open admits a bounded number of probes. *)
+val allow : t -> now:float -> bool
+
+(** Feed back one call outcome. *)
+val record : t -> now:float -> ok:bool -> unit
+
+(** State transitions (time, new state), oldest first. *)
+val transitions : t -> (float * state) list
+
+(** Times the breaker has opened. *)
+val opens : t -> int
+
+val pp_state : Format.formatter -> state -> unit
+val pp : Format.formatter -> t -> unit

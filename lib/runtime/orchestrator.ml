@@ -25,6 +25,9 @@ type deployed_kernel = {
   kname : string;
   impls : (string * variant_impl) list;
   tuner : Tuner.t;
+  breakers : (string * Everest_resilience.Breaker.t) list;
+      (* one per hardware variant: trips when the variant keeps failing,
+         degrading requests to software until a half-open probe succeeds *)
 }
 
 type t = {
@@ -57,7 +60,8 @@ let create ?(vcpus = 4) ?tracer ?(registry = Metrics.default)
 let sim_tracer ?capacity (cluster : Cluster.t) =
   Trace.create ?capacity ~clock:(fun () -> Desim.now cluster.Cluster.sim) ()
 
-let deploy orch ~kname ~impls ~(knowledge : Knowledge.t) ~(goal : Goal.t) =
+let deploy ?breaker orch ~kname ~impls ~(knowledge : Knowledge.t)
+    ~(goal : Goal.t) =
   (* deployment-time configuration: preload every hardware variant's
      bitstream so first invocations do not pay reconfiguration *)
   (match orch.vctx with
@@ -69,9 +73,25 @@ let deploy orch ~kname ~impls ~(knowledge : Knowledge.t) ~(goal : Goal.t) =
           | Sw _ -> ())
         impls
   | None -> ());
-  let k = { kname; impls; tuner = Tuner.create knowledge goal } in
+  let breakers =
+    List.filter_map
+      (fun (name, impl) ->
+        match impl with
+        | Hw _ ->
+            Some
+              (name, Everest_resilience.Breaker.create ?config:breaker ())
+        | Sw _ -> None)
+      impls
+  in
+  let k = { kname; impls; tuner = Tuner.create knowledge goal; breakers } in
   orch.kernels <- k :: orch.kernels;
   k
+
+let breaker_state orch dk ~variant =
+  let now = Desim.now orch.cluster.Cluster.sim in
+  Option.map
+    (fun b -> Everest_resilience.Breaker.state b ~now)
+    (List.assoc_opt variant dk.breakers)
 
 let find_kernel orch name =
   List.find (fun k -> String.equal k.kname name) orch.kernels
@@ -86,7 +106,20 @@ let publish_metrics orch =
     (fun dk ->
       let labels = [ ("kernel", dk.kname) ] in
       g ~labels "tuner_selections" (float_of_int dk.tuner.Tuner.selections);
-      g ~labels "tuner_switches" (float_of_int dk.tuner.Tuner.switches))
+      g ~labels "tuner_switches" (float_of_int dk.tuner.Tuner.switches);
+      let now = Desim.now orch.cluster.Cluster.sim in
+      List.iter
+        (fun (variant, b) ->
+          let labels = ("variant", variant) :: labels in
+          (* 0 closed, 0.5 half-open, 1 open *)
+          g ~labels "orchestrator_breaker_open"
+            (match Everest_resilience.Breaker.state b ~now with
+            | Everest_resilience.Breaker.Closed -> 0.0
+            | Everest_resilience.Breaker.Half_open -> 0.5
+            | Everest_resilience.Breaker.Open -> 1.0);
+          g ~labels "orchestrator_breaker_opens"
+            (float_of_int (Everest_resilience.Breaker.opens b)))
+        dk.breakers)
     orch.kernels;
   g "protection_alerts" (float_of_int orch.protection.Protection.total_alerts);
   g "protection_dropped_batches"
@@ -131,14 +164,30 @@ let execute orch (dk : deployed_kernel) ~variant
 
 type policy = Adaptive | Fixed of string | Random of int  (* seed *)
 
-type request_log = { req : int; variant : string; latency_s : float }
+type request_log = {
+  req : int;
+  requested : string;  (* what the policy picked *)
+  variant : string;  (* what actually served the request *)
+  latency_s : float;  (* across all attempts *)
+  attempts : int;
+  degraded : bool;  (* breaker diverted a hardware pick to software *)
+  ok : bool;
+}
 
 (* Serve [n] closed-loop requests under [policy].  [slowdown req variant]
    injects time-varying contention (the workload/resource shifts the runtime
-   must react to).  [features req] supplies per-request data features. *)
+   must react to).  [features req] supplies per-request data features.
+
+   [fail ~req ~variant ~attempt] injects a deterministic per-attempt
+   failure verdict.  Failures feed the variant's circuit breaker and are
+   retried (with backoff) up to [max_attempts]; while a hardware variant's
+   breaker is open, requests for it degrade to the first software variant
+   until a half-open probe succeeds. *)
 let serve orch ~kernel ~n ~policy
     ?(slowdown = fun _req _variant -> 1.0)
-    ?(features = fun _req -> []) () =
+    ?(features = fun _req -> [])
+    ?(fail = fun ~req:_ ~variant:_ ~attempt:_ -> false)
+    ?(max_attempts = 3) () =
   let dk = find_kernel orch kernel in
   let registry = orch.registry in
   let labels = [ ("kernel", kernel) ] in
@@ -148,6 +197,12 @@ let serve orch ~kernel ~n ~policy
     Metrics.counter ~registry ~labels "orchestrator_variant_switches_total"
   and m_faults =
     Metrics.counter ~registry ~labels "orchestrator_protection_faults_total"
+  and m_retries =
+    Metrics.counter ~registry ~labels "orchestrator_retries_total"
+  and m_failures =
+    Metrics.counter ~registry ~labels "orchestrator_failures_total"
+  and m_degraded =
+    Metrics.counter ~registry ~labels "orchestrator_degraded_total"
   and h_latency =
     Metrics.histogram ~registry ~labels "orchestrator_request_latency_s"
   in
@@ -160,6 +215,14 @@ let serve orch ~kernel ~n ~policy
     List.nth seed_variants
       (Everest_parallel.Rng.int rng (List.length seed_variants))
   in
+  let sim = orch.cluster.Cluster.sim in
+  let backoff_rng = Everest_parallel.Rng.create 0xB0FF in
+  let sw_fallback () =
+    List.find_map
+      (fun (name, impl) ->
+        match impl with Sw _ -> Some name | Hw _ -> None)
+      dk.impls
+  in
   let rec loop req =
     if req >= n then ()
     else begin
@@ -171,7 +234,7 @@ let serve orch ~kernel ~n ~policy
         else None
       in
       let parent = Option.map (fun s -> s.Trace.id) rspan in
-      let variant =
+      let requested =
         (* selection is instantaneous in simulated time; record it as a
            zero-width child so the decision is visible in the trace *)
         let sspan =
@@ -194,51 +257,107 @@ let serve orch ~kernel ~n ~policy
           sspan;
         v
       in
-      (match !last_variant with
-      | Some prev when not (String.equal prev variant) ->
-          Metrics.inc m_switches
-      | _ -> ());
-      last_variant := Some variant;
-      let espan =
-        if trace_on then
-          Some
-            (Trace.start orch.tracer ?parent
-               ~attrs:[ ("variant", Trace.S variant) ]
-               ("execute:" ^ variant))
-        else None
-      in
-      execute orch dk ~variant ~slowdown:(slowdown req) (fun latency ->
-          Option.iter (fun s -> Trace.finish orch.tracer s) espan;
-          log := { req; variant; latency_s = latency } :: !log;
-          Metrics.inc m_requests;
-          Metrics.observe h_latency latency;
-          let faults = orch.protection.Protection.total_alerts in
-          if faults > !alerts_before then begin
-            Metrics.inc
-              ~by:(float_of_int (faults - !alerts_before))
-              m_faults;
-            alerts_before := faults
-          end;
-          (match policy with
-          | Adaptive ->
-              let ospan =
-                if trace_on then
-                  Some (Trace.start orch.tracer ?parent "observe")
-                else None
+      let t_req = Desim.now sim in
+      let rec attempt_loop ~attempt ~prev_delay ~degraded_sofar =
+        (* route through the variant's breaker: an open breaker on a
+           hardware pick degrades the request to software instead of
+           hammering a failing accelerator *)
+        let variant, degraded_now =
+          match List.assoc_opt requested dk.breakers with
+          | Some b
+            when not
+                   (Everest_resilience.Breaker.allow b
+                      ~now:(Desim.now sim)) -> (
+              match sw_fallback () with
+              | Some s -> (s, true)
+              | None -> (requested, false))
+          | _ -> (requested, false)
+        in
+        let degraded = degraded_sofar || degraded_now in
+        if degraded_now then Metrics.inc m_degraded;
+        let espan =
+          if trace_on then
+            Some
+              (Trace.start orch.tracer ?parent
+                 ~attrs:
+                   [ ("variant", Trace.S variant);
+                     ("attempt", Trace.I attempt) ]
+                 ("execute:" ^ variant))
+          else None
+        in
+        execute orch dk ~variant ~slowdown:(slowdown req) (fun measured ->
+            let now = Desim.now sim in
+            let failed = fail ~req ~variant ~attempt in
+            Option.iter
+              (fun s ->
+                Trace.finish orch.tracer
+                  ~attrs:
+                    [ ("status", Trace.S (if failed then "failed" else "ok")) ]
+                  s)
+              espan;
+            (match List.assoc_opt variant dk.breakers with
+            | Some b ->
+                Everest_resilience.Breaker.record b ~now ~ok:(not failed)
+            | None -> ());
+            if failed && attempt < max_attempts then begin
+              Metrics.inc m_retries;
+              let delay =
+                Everest_resilience.Policy.next_delay
+                  Everest_resilience.Policy.default_backoff ~rng:backoff_rng
+                  ~prev:prev_delay
               in
-              Tuner.observe dk.tuner ~variant ~features:(features req)
-                ~measured:[ ("time_s", latency) ];
-              Option.iter (fun s -> Trace.finish orch.tracer s) ospan
-          | _ -> ());
-          Option.iter
-            (fun s ->
-              Trace.finish orch.tracer
-                ~attrs:
-                  [ ("variant", Trace.S variant);
-                    ("latency_s", Trace.F latency) ]
-                s)
-            rspan;
-          loop (req + 1))
+              Desim.schedule sim delay (fun () ->
+                  attempt_loop ~attempt:(attempt + 1) ~prev_delay:delay
+                    ~degraded_sofar:degraded)
+            end
+            else begin
+              let ok = not failed in
+              if failed then Metrics.inc m_failures;
+              let latency = now -. t_req in
+              (match !last_variant with
+              | Some prev when not (String.equal prev variant) ->
+                  Metrics.inc m_switches
+              | _ -> ());
+              last_variant := Some variant;
+              log :=
+                { req; requested; variant; latency_s = latency;
+                  attempts = attempt; degraded; ok }
+                :: !log;
+              Metrics.inc m_requests;
+              Metrics.observe h_latency latency;
+              let faults = orch.protection.Protection.total_alerts in
+              if faults > !alerts_before then begin
+                Metrics.inc
+                  ~by:(float_of_int (faults - !alerts_before))
+                  m_faults;
+                alerts_before := faults
+              end;
+              (match policy with
+              | Adaptive when ok ->
+                  let ospan =
+                    if trace_on then
+                      Some (Trace.start orch.tracer ?parent "observe")
+                    else None
+                  in
+                  (* feed the tuner the measured execution time, not the
+                     retry-inflated request latency *)
+                  Tuner.observe dk.tuner ~variant ~features:(features req)
+                    ~measured:[ ("time_s", measured) ];
+                  Option.iter (fun s -> Trace.finish orch.tracer s) ospan
+              | _ -> ());
+              Option.iter
+                (fun s ->
+                  Trace.finish orch.tracer
+                    ~attrs:
+                      [ ("variant", Trace.S variant);
+                        ("latency_s", Trace.F latency);
+                        ("ok", Trace.B ok) ]
+                    s)
+                rspan;
+              loop (req + 1)
+            end)
+      in
+      attempt_loop ~attempt:1 ~prev_delay:0.0 ~degraded_sofar:false
     end
   in
   loop 0;
@@ -253,6 +372,16 @@ let mean_latency log =
   match log with
   | [] -> 0.0
   | _ -> total_latency log /. float_of_int (List.length log)
+
+(* Fraction of requests that ultimately succeeded. *)
+let availability log =
+  match log with
+  | [] -> 1.0
+  | _ ->
+      let ok = List.length (List.filter (fun r -> r.ok) log) in
+      float_of_int ok /. float_of_int (List.length log)
+
+let degraded_requests log = List.length (List.filter (fun r -> r.degraded) log)
 
 let variant_histogram log =
   List.fold_left

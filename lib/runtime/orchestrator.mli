@@ -23,6 +23,10 @@ type deployed_kernel = {
   kname : string;
   impls : (string * variant_impl) list;
   tuner : Tuner.t;
+  breakers : (string * Everest_resilience.Breaker.t) list;
+      (** One circuit breaker per hardware variant: repeated failures trip
+          it and requests degrade to software until a half-open probe
+          succeeds. *)
 }
 
 type t = {
@@ -61,8 +65,10 @@ val sim_tracer : ?capacity:int -> Cluster.t -> Everest_telemetry.Trace.t
 val publish_metrics : t -> unit
 
 (** Deploy a kernel with its variants; hardware bitstreams are preloaded
-    (deployment-time configuration). *)
+    (deployment-time configuration) and every hardware variant gets a
+    circuit breaker ([breaker] overrides the default configuration). *)
 val deploy :
+  ?breaker:Everest_resilience.Breaker.config ->
   t ->
   kname:string ->
   impls:(string * variant_impl) list ->
@@ -71,6 +77,11 @@ val deploy :
   deployed_kernel
 
 val find_kernel : t -> string -> deployed_kernel
+
+(** Breaker state of a hardware variant at the current simulated time;
+    [None] for software variants. *)
+val breaker_state :
+  t -> deployed_kernel -> variant:string -> Everest_resilience.Breaker.state option
 
 (** Execute one variant; the continuation receives the measured simulated
     latency.  [slowdown] injects contention per variant. *)
@@ -84,11 +95,26 @@ val execute :
 
 type policy = Adaptive | Fixed of string | Random of int
 
-type request_log = { req : int; variant : string; latency_s : float }
+type request_log = {
+  req : int;
+  requested : string;  (** What the policy picked. *)
+  variant : string;  (** What actually served the request. *)
+  latency_s : float;  (** Across all attempts, including backoff. *)
+  attempts : int;
+  degraded : bool;  (** A breaker diverted a hardware pick to software. *)
+  ok : bool;
+}
 
 (** Serve [n] closed-loop requests.  [slowdown req variant] injects
     time-varying contention; [features req] supplies per-request data
-    features to the tuner. *)
+    features to the tuner.
+
+    [fail ~req ~variant ~attempt] injects a deterministic per-attempt
+    failure verdict; failures feed the variant's circuit breaker and are
+    retried with backoff up to [max_attempts] (default 3).  While a
+    hardware variant's breaker is open, requests for it are served by the
+    first software variant (graceful degradation), recorded per request in
+    [degraded] and in the [orchestrator_degraded_total] counter. *)
 val serve :
   t ->
   kernel:string ->
@@ -96,9 +122,18 @@ val serve :
   policy:policy ->
   ?slowdown:(int -> string -> float) ->
   ?features:(int -> (string * float) list) ->
+  ?fail:(req:int -> variant:string -> attempt:int -> bool) ->
+  ?max_attempts:int ->
   unit ->
   request_log list
 
 val total_latency : request_log list -> float
 val mean_latency : request_log list -> float
+
+(** Fraction of requests that ultimately succeeded (1.0 on an empty log). *)
+val availability : request_log list -> float
+
+(** Requests that were served degraded. *)
+val degraded_requests : request_log list -> int
+
 val variant_histogram : request_log list -> (string * int) list

@@ -30,6 +30,37 @@ let amortization t ~calls ~bytes_per_call =
   let batched = cost t ~calls ~bytes_per_call in
   if batched = 0.0 then 1.0 else unbatched /. batched
 
-(* Issue a remoted accelerator invocation inside the simulation. *)
-let invoke sim t ~calls ~bytes_per_call k =
-  Everest_platform.Desim.schedule sim (cost t ~calls ~bytes_per_call) k
+exception Call_failed of { attempts : int }
+
+(* Issue a remoted accelerator invocation inside the simulation.
+
+   [fail] is a deterministic fault hook: called with the 1-based attempt
+   number when the crossing completes, [true] means the transport dropped
+   the call.  Failed attempts are retried up to [retries] times with
+   exponential backoff on the simulated clock; when the budget runs out the
+   continuation is abandoned and [on_give_up] fires (default: raise
+   [Call_failed] from inside the simulation). *)
+let invoke ?(fail = fun ~attempt:_ -> false) ?(retries = 0)
+    ?(backoff = Everest_resilience.Policy.default_backoff) ?on_give_up sim t
+    ~calls ~bytes_per_call k =
+  let c = cost t ~calls ~bytes_per_call in
+  let give_up =
+    match on_give_up with
+    | Some f -> f
+    | None -> fun ~attempts -> raise (Call_failed { attempts })
+  in
+  let rec go ~attempt ~prev_delay =
+    Everest_platform.Desim.schedule sim c (fun () ->
+        if not (fail ~attempt) then k ()
+        else if attempt > retries then give_up ~attempts:attempt
+        else
+          let delay =
+            (* keyed off the attempt number so repeat invocations draw the
+               same jitter: remoted retries stay reproducible *)
+            let rng = Everest_parallel.Rng.create (attempt * 7919) in
+            Everest_resilience.Policy.next_delay backoff ~rng ~prev:prev_delay
+          in
+          Everest_platform.Desim.schedule sim delay (fun () ->
+              go ~attempt:(attempt + 1) ~prev_delay:delay))
+  in
+  go ~attempt:1 ~prev_delay:0.0

@@ -21,8 +21,22 @@ val cost : transport -> calls:int -> bytes_per_call:int -> float
 (** Unbatched-to-batched cost ratio. *)
 val amortization : transport -> calls:int -> bytes_per_call:int -> float
 
-(** Issue a remoted invocation inside the simulation. *)
+(** Raised (inside the simulation) when a remoted call fails on every
+    attempt and no [on_give_up] handler was installed. *)
+exception Call_failed of { attempts : int }
+
+(** Issue a remoted invocation inside the simulation.
+
+    [fail ~attempt] is a deterministic fault hook evaluated when the
+    crossing completes ([true] = the transport dropped the call); failed
+    attempts are retried up to [retries] times with exponential backoff on
+    the simulated clock.  When the budget runs out, [on_give_up] fires with
+    the attempt count (default: raise {!Call_failed}). *)
 val invoke :
+  ?fail:(attempt:int -> bool) ->
+  ?retries:int ->
+  ?backoff:Everest_resilience.Policy.backoff ->
+  ?on_give_up:(attempts:int -> unit) ->
   Everest_platform.Desim.t ->
   transport ->
   calls:int ->

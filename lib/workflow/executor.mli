@@ -1,10 +1,17 @@
 (** Plan execution on the simulated platform.
 
-    Each task waits for its inputs, pulls them from the producers' nodes
-    over the cluster links, runs its chosen implementation on its assigned
-    node, and signals completion — the measurable counterpart of
+    Each task waits for its inputs, pulls them from a node holding a valid
+    copy over the cluster links, runs its chosen implementation on its
+    assigned node, and signals completion — the measurable counterpart of
     HyperLoom's distributed executor.  Planned bitstreams are preloaded at
-    deployment (cloudFPGA configures roles at allocation). *)
+    deployment (cloudFPGA configures roles at allocation).
+
+    Resilience: an {!Everest_resilience.Faults.t} plan injects node
+    crash/restart windows, transient failures and link degradation, all
+    deterministic in the plan seed; an {!Everest_resilience.Policy.t}
+    governs recovery (retry budgets with backoff, plan-relative timeouts,
+    speculative re-execution, heartbeat death detection).  Outputs lost
+    with a dead node are recomputed from lineage. *)
 
 type stats = {
   makespan : float;
@@ -13,26 +20,42 @@ type stats = {
   transfers : int;
   energy_j : float;
   per_node_tasks : (string * int) list;
-  retries : int;  (** Re-executions caused by node failures. *)
+  retries : int;  (** Re-executions caused by node or transient failures. *)
+  timeouts : int;  (** Attempts cancelled by the per-task deadline. *)
+  speculative : int;  (** Speculative backup launches. *)
+  recomputed : int;  (** Lost outputs recomputed from lineage. *)
   span_log : Everest_telemetry.Trace.span list;
       (** Completed spans of the run when a tracer was passed (one
           ["task:…"] span per execution attempt, one ["xfer:…"] span per
           transfer), newest first; empty under the default no-op tracer.
-          [retries] and [bytes_moved] are derivable from it — see
-          {!trace_retries} and {!trace_bytes_moved}. *)
+          The headline counters are derivable from it — see
+          {!trace_retries} and friends. *)
 }
 
-(** Execute the plan.  [failures] is a list of [(node, time)] pairs: the
-    node dies at the simulated time; tasks divert or re-execute on a
-    fallback node (HyperLoom-style recovery).
+(** Raised when recovery can no longer make progress (every node dead, or a
+    task's retry budget exhausted with no attempt left in flight); carries
+    the stats accumulated up to the failure point. *)
+exception Execution_failed of { reason : string; partial : stats }
+
+(** Execute the plan.
+
+    [failures] is the historical shim: a list of [(node, time)] pairs, each
+    becoming a permanent node death at the given simulated time.  [faults]
+    is the full fault plan and wins over [failures] when both are given.
+    [policy] (default {!Everest_resilience.Policy.default}) sets retry
+    budget, backoff, timeouts, speculation and heartbeat; the default is
+    inert beyond retries, so zero-fault runs behave exactly like the
+    pre-resilience executor.
 
     [tracer] (default {!Everest_telemetry.Trace.noop}) records per-attempt
     task spans and per-transfer spans in simulated time, one track per
     node; [registry] (default {!Everest_telemetry.Metrics.default})
     accumulates [workflow_*] counters and task/transfer histograms.
-    @raise Invalid_argument if a task never completes or every node fails. *)
+    @raise Execution_failed when recovery is exhausted. *)
 val execute :
   ?failures:(string * float) list ->
+  ?faults:Everest_resilience.Faults.t ->
+  ?policy:Everest_resilience.Policy.t ->
   ?tracer:Everest_telemetry.Trace.t ->
   ?registry:Everest_telemetry.Metrics.registry ->
   Everest_platform.Cluster.t ->
@@ -40,14 +63,17 @@ val execute :
   stats
 
 (** Build a fresh demonstrator, schedule with the named policy, execute.
-    When [tracer] is [`Sim] a tracer on the fresh cluster's simulated clock
-    is created and its spans land in [stats.span_log].
+    [exec_policy] is the recovery policy (the [~policy] argument names the
+    scheduler).  When [tracer] is [`Sim] a tracer on the fresh cluster's
+    simulated clock is created and its spans land in [stats.span_log].
     @raise Invalid_argument on unknown policy names. *)
 val run_on_demonstrator :
   ?cloud_fpgas:int ->
   ?edges:int ->
   ?endpoints:int ->
   ?failures:(string * float) list ->
+  ?faults:Everest_resilience.Faults.t ->
+  ?exec_policy:Everest_resilience.Policy.t ->
   ?tracer:[ `Noop | `Sim ] ->
   ?registry:Everest_telemetry.Metrics.registry ->
   policy:string ->
@@ -59,12 +85,22 @@ val run_on_demonstrator :
     The span log is an alternative account of the run; these fold it back
     into the headline numbers so tests can assert both stories match. *)
 
-(** Task-execution attempts that were abandoned because their node died
-    (spans with [status="retried"]). *)
+(** Task-execution attempts that were abandoned and re-executed because
+    their node died or the attempt failed transiently (spans with
+    [status="retried"]). *)
 val trace_retries : Everest_telemetry.Trace.span list -> int
+
+(** Attempts cancelled by the per-task deadline ([status="timeout"]). *)
+val trace_timeouts : Everest_telemetry.Trace.span list -> int
+
+(** Speculative backup launches (spans born with [speculative=true]). *)
+val trace_speculative : Everest_telemetry.Trace.span list -> int
+
+(** Completed recomputations of lost outputs ([status="recomputed"]). *)
+val trace_recomputed : Everest_telemetry.Trace.span list -> int
 
 (** Total bytes carried by ["xfer:…"] spans. *)
 val trace_bytes_moved : Everest_telemetry.Trace.span list -> int
 
-(** Successful task completions (spans with [status="ok"]). *)
+(** Successful first completions (spans with [status="ok"]). *)
 val trace_tasks_completed : Everest_telemetry.Trace.span list -> int

@@ -218,6 +218,47 @@ let test_orchestrator_adapts_to_contention () =
   checkb "adaptive beats stubborn hw" true
     (Orchestrator.total_latency log < Orchestrator.total_latency log_fixed)
 
+let test_orchestrator_breaker_degrades () =
+  (* the hw variant fails every attempt for a while: its breaker must open,
+     requests degrade to sw, and after the cooldown a half-open probe
+     succeeds and hw serves again *)
+  let orch = fresh_orch () in
+  let dk =
+    Orchestrator.deploy orch
+      ~breaker:
+        { Everest_resilience.Breaker.failure_threshold = 2; cooldown_s = 0.01;
+          half_open_probes = 1 }
+      ~kname:"k" ~impls:(impls ())
+      ~knowledge:(knowledge_for_impls ())
+      ~goal:(Everest_autotune.Goal.make (Everest_autotune.Goal.Minimize "time_s"))
+  in
+  (* hw attempts fail on the first 6 requests, then the fault clears *)
+  let fail ~req ~variant ~attempt:_ = req < 6 && String.equal variant "hw" in
+  let log =
+    Orchestrator.serve orch ~kernel:"k" ~n:30 ~policy:(Orchestrator.Fixed "hw")
+      ~fail ()
+  in
+  checki "every request answered" 30 (List.length log);
+  checkb "requests degraded to sw during the outage" true
+    (List.exists
+       (fun r -> r.Orchestrator.degraded && r.Orchestrator.variant = "sw")
+       log);
+  let late = List.filteri (fun i _ -> i >= 10) log in
+  checkb "hw back after the probe" true
+    (List.for_all
+       (fun r -> r.Orchestrator.variant = "hw" && r.Orchestrator.ok)
+       late);
+  checkb "breaker opened at least once" true
+    (List.exists
+       (fun (_, b) -> Everest_resilience.Breaker.opens b >= 1)
+       dk.Orchestrator.breakers);
+  checkb "breaker closed again" true
+    (Orchestrator.breaker_state orch dk ~variant:"hw"
+    = Some Everest_resilience.Breaker.Closed);
+  checkb "availability accounts failures" true
+    (Orchestrator.availability log <= 1.0
+    && Orchestrator.degraded_requests log >= 1)
+
 let test_orchestrator_random_policy () =
   let orch = fresh_orch () in
   let _ =
@@ -249,5 +290,7 @@ let () =
         [ Alcotest.test_case "fixed" `Quick test_orchestrator_fixed_policies;
           Alcotest.test_case "adaptive prefers hw" `Quick test_orchestrator_adaptive_prefers_hw;
           Alcotest.test_case "adapts to contention" `Quick test_orchestrator_adapts_to_contention;
-          Alcotest.test_case "random explores" `Quick test_orchestrator_random_policy ] );
+          Alcotest.test_case "random explores" `Quick test_orchestrator_random_policy;
+          Alcotest.test_case "breaker degrades hw to sw" `Quick
+            test_orchestrator_breaker_degrades ] );
     ]

@@ -156,7 +156,11 @@ let test_all_nodes_failed () =
   let c = Cluster.create [ Cluster.power9_node "p9" ] in
   let plan = Scheduler.min_load c d in
   match Executor.execute ~failures:[ ("p9", 0.0) ] c plan with
-  | exception Invalid_argument _ -> ()
+  | exception Executor.Execution_failed { partial; _ } ->
+      checki "no task completed" 0
+        (Array.fold_left
+           (fun acc f -> if f >= 0.0 then acc + 1 else acc)
+           0 partial.Executor.task_finish)
   | _ -> Alcotest.fail "must fail when no node survives"
 
 (* ---- data placement --------------------------------------------------------------- *)
