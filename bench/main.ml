@@ -1,6 +1,6 @@
 (* Benchmark/experiment driver.
 
-     dune exec bench/main.exe            # every experiment E1-E14 + micro
+     dune exec bench/main.exe            # every experiment E1-E15 + micro
      dune exec bench/main.exe -- e5      # one experiment
      dune exec bench/main.exe -- micro   # Bechamel micro-benchmarks only
 
@@ -19,6 +19,6 @@ let () =
           | Some f -> f ()
           | None ->
               Printf.eprintf
-                "unknown experiment %S (expected e1..e14, micro, all)\n" n;
+                "unknown experiment %S (expected e1..e15, micro, all)\n" n;
               exit 1)
         names

@@ -18,7 +18,17 @@
          plus a circuit-breaker degradation demo; exit 1 on any failure
      everest_cli lint [FILE..] [--demo] [--examples] [--format text|json]
          run the static-analysis rules over textual IR modules (or the
-         seeded-defect / lowered-example modules); exit 1 on errors  *)
+         seeded-defect / lowered-example modules); exit 1 on errors
+     everest_cli observe [--seed S] [--format text|json] [--out F]
+         run the stress workflow traced under a seeded fault plan plus an
+         SLO-monitored serving phase; print the analytics report (critical
+         path, per-node utilization, SLO verdicts); exit 1 if any internal
+         consistency check fails or an SLO is violated
+     everest_cli observe --demo
+         deliberately violate the availability SLO so the burn-rate alert
+         fires (exercises the failure path; exits 1)
+     everest_cli observe --diff A.json B.json
+         diff two saved reports; exit 1 on regressions beyond tolerance  *)
 
 open Cmdliner
 module Sdk = Everest.Sdk
@@ -785,10 +795,239 @@ let lint_cmd =
        ~doc:"Run the static-analysis rules (EV0xx) over IR modules.")
     Term.(const run $ files $ demo $ examples $ format)
 
+(* ---- observe --------------------------------------------------------------- *)
+
+(* Read-side analytics drill: run the stress DAG fully traced under a
+   seeded fault plan, force the executor's lazy report and check it for
+   internal consistency (critical-path duration must equal the run's
+   makespan, per-node utilization must reconcile with the span log), then
+   serve requests under availability/latency SLO monitors.  [--demo]
+   deliberately violates the availability SLO to exercise the burn-rate
+   alert and failure exit; [--diff] compares two saved reports. *)
+let observe_cmd =
+  let module Res = Everest_resilience in
+  let module Wf = Sdk.Workflow in
+  let module Obs = Everest_observe in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Fault-plan seed.")
+  in
+  let sched =
+    Arg.(
+      value & opt string "heft-locality"
+      & info [ "policy" ] ~doc:"Scheduling policy for the stress workflow.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~doc:"Report format: text, json.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON report to FILE.")
+  in
+  let demo =
+    Arg.(
+      value & flag
+      & info [ "demo" ]
+          ~doc:
+            "Deliberately violate the availability SLO so the burn-rate \
+             alert fires (exits 1).")
+  in
+  let diff =
+    Arg.(
+      value & opt_all file []
+      & info [ "diff" ] ~docv:"FILE"
+          ~doc:"Diff two saved reports (pass --diff twice).")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.05
+      & info [ "tolerance" ] ~docv:"T"
+          ~doc:"Relative change treated as noise by --diff.")
+  in
+  let run seed sched format out demo diff tolerance =
+    match diff with
+    | [ a; b ] ->
+        let before = Obs.Json.parse_file a and after = Obs.Json.parse_file b in
+        let changes = Obs.Regress.diff ~tolerance ~before ~after () in
+        print_string (Obs.Regress.render_text changes);
+        if Obs.Regress.regressions changes <> [] then exit 1
+    | _ :: _ ->
+        prerr_endline "observe: --diff needs exactly two report files";
+        exit 2
+    | [] ->
+        (* deterministic fault plan scaled to the clean makespan, as in the
+           chaos drill *)
+        let dag =
+          Wf.Dag.layered ~seed ~layers:5 ~width:4 ~flops:2e9 ~bytes:1e6 ()
+        in
+        let nodes =
+          List.map
+            (fun (n : Sdk.Platform.Node.t) -> n.Sdk.Platform.Node.name)
+            (Sdk.Platform.Cluster.everest_demonstrator ())
+              .Sdk.Platform.Cluster.nodes
+        in
+        let _, clean = Wf.Executor.run_on_demonstrator ~policy:sched dag in
+        let faults =
+          Res.Faults.random_plan ~seed ~fault_rate:0.2
+            ~mean_downtime:(0.25 *. clean.Wf.Executor.makespan)
+            ~transient_prob:0.05 ~fpga_transient_prob:0.02 ~nodes
+            ~horizon:clean.Wf.Executor.makespan ()
+        in
+        let registry = Tel.Metrics.create_registry () in
+        let _, stats =
+          Wf.Executor.run_on_demonstrator ~policy:sched ~faults
+            ~exec_policy:Res.Policy.chaos ~tracer:`Sim ~registry dag
+        in
+        let report = Lazy.force stats.Wf.Executor.report in
+        let cp_ok, cp_matches =
+          match report.Obs.Report.r_cp with
+          | None -> (false, false)
+          | Some cp ->
+              ( Obs.Critical_path.check cp,
+                Float.abs
+                  (cp.Obs.Critical_path.duration_s
+                  -. stats.Wf.Executor.makespan)
+                <= 1e-9 *. Float.max 1.0 stats.Wf.Executor.makespan )
+        in
+        let util_ok =
+          match report.Obs.Report.r_util with
+          | None -> false
+          | Some u -> Obs.Utilization.check u
+        in
+        (* serving phase: hw outage early in the run; monitors watch
+           availability and tail latency over simulated time *)
+        let cluster =
+          Sdk.Platform.Cluster.create [ Sdk.Platform.Cluster.power9_node "p9" ]
+        in
+        let orch =
+          Sdk.Runtime.Orchestrator.create ~registry cluster ~host_name:"p9"
+        in
+        let estimate =
+          { Everest_hls.Estimate.area = Everest_hls.Estimate.zero_area;
+            cycles = 100_000; ii = 1; clock_mhz = 250.0; dynamic_power_w = 8.0 }
+        in
+        let _ =
+          Sdk.Runtime.Orchestrator.deploy orch
+            ~breaker:
+              { Res.Breaker.failure_threshold = 2; cooldown_s = 0.01;
+                half_open_probes = 1 }
+            ~kname:"k"
+            ~impls:
+              [ ("sw",
+                 Sdk.Runtime.Orchestrator.Sw
+                   { flops = 5e8; bytes = 1e5; threads = 2 });
+                ("hw",
+                 Sdk.Runtime.Orchestrator.Hw
+                   { bitstream = "k"; estimate; in_bytes = 4096;
+                     out_bytes = 4096 }) ]
+            ~knowledge:
+              (Everest_autotune.Knowledge.create "k"
+                 [ { Everest_autotune.Knowledge.variant = "sw"; features = [];
+                     metrics = [ ("time_s", 0.01) ] };
+                   { Everest_autotune.Knowledge.variant = "hw"; features = [];
+                     metrics = [ ("time_s", 0.001) ] } ])
+            ~goal:
+              (Everest_autotune.Goal.make
+                 (Everest_autotune.Goal.Minimize "time_s"))
+        in
+        let n_req = 30 in
+        let specs =
+          [ Obs.Slo.availability "requests-available" 0.9;
+            Obs.Slo.latency "tail-latency" ~q:0.95 ~limit_s:0.1 ]
+        in
+        let alert =
+          { Obs.Slo.fast_window_s = 0.05; slow_window_s = 0.5;
+            burn_threshold = 2.0 }
+        in
+        let monitors = List.map (Obs.Slo.monitor ~alert) specs in
+        let fail =
+          if demo then
+            (* a sustained outage: most requests fail outright, burning the
+               10% error budget at ~5x — both alert windows trip *)
+            fun ~req ~variant:_ ~attempt:_ -> req mod 2 = 0
+          else fun ~req ~variant ~attempt:_ ->
+            req < 4 && String.equal variant "hw"
+        in
+        let max_attempts = if demo then 1 else 3 in
+        let log =
+          Sdk.Runtime.Orchestrator.serve orch ~kernel:"k" ~n:n_req
+            ~policy:(Sdk.Runtime.Orchestrator.Fixed "hw")
+            ~fail ~max_attempts ~slos:monitors ()
+        in
+        let serve_results =
+          Obs.Slo.evaluate_all specs
+            (Sdk.Runtime.Orchestrator.slo_outcomes log)
+        in
+        let alerts =
+          List.fold_left (fun acc m -> acc + Obs.Slo.alerts m) 0 monitors
+        in
+        let slos_met =
+          List.for_all (fun (r : Obs.Slo.result) -> r.Obs.Slo.met)
+            (report.Obs.Report.r_slos @ serve_results)
+        in
+        let all_ok = cp_ok && cp_matches && util_ok && slos_met && alerts = 0 in
+        let json =
+          Obs.Json.Obj
+            [ ("workflow", Obs.Report.to_json report);
+              ("serving",
+               Obs.Json.Obj
+                 [ ("requests", Obs.Json.Num (float_of_int (List.length log)));
+                   ("availability",
+                    Obs.Json.Num (Sdk.Runtime.Orchestrator.availability log));
+                   ("slos",
+                    Obs.Json.Arr
+                      (List.map Obs.Slo.result_to_json serve_results));
+                   ("burn_alerts", Obs.Json.Num (float_of_int alerts)) ]);
+              ("checks",
+               Obs.Json.Obj
+                 [ ("critical_path_consistent", Obs.Json.Bool cp_ok);
+                   ("critical_path_matches_makespan", Obs.Json.Bool cp_matches);
+                   ("utilization_consistent", Obs.Json.Bool util_ok);
+                   ("slos_met", Obs.Json.Bool slos_met);
+                   ("passed", Obs.Json.Bool all_ok) ]) ]
+        in
+        (match out with
+        | None -> ()
+        | Some f ->
+            let oc = open_out f in
+            output_string oc (Obs.Json.to_string ~pretty:true json);
+            output_string oc "\n";
+            close_out oc);
+        (match format with
+        | `Json -> print_string (Obs.Json.to_string ~pretty:true json ^ "\n")
+        | `Text ->
+            print_string (Obs.Report.render report);
+            Printf.printf
+              "serving: %d requests, availability %.0f%%, %d burn alert(s)\n"
+              (List.length log)
+              (100.0 *. Sdk.Runtime.Orchestrator.availability log)
+              alerts;
+            List.iter
+              (fun r -> Format.printf "  slo: %a@." Obs.Slo.pp_result r)
+              serve_results;
+            Printf.printf
+              "checks: critical-path %s (makespan match %s), utilization %s\n"
+              (if cp_ok then "ok" else "FAILED")
+              (if cp_matches then "ok" else "FAILED")
+              (if util_ok then "ok" else "FAILED");
+            print_string
+              (if all_ok then "observe drill passed\n"
+               else "observe drill FAILED\n"));
+        if not all_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "observe"
+       ~doc:"Trace analytics: critical path, utilization and SLO verdicts.")
+    Term.(
+      const run $ seed $ sched $ format $ out $ demo $ diff $ tolerance)
+
 let () =
   let doc = "EVEREST SDK: compile, run and adapt HPDA applications." in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "everest_cli" ~doc)
           [ compile_cmd; run_cmd; serve_cmd; hls_cmd; telemetry_cmd; chaos_cmd;
-            lint_cmd ]))
+            lint_cmd; observe_cmd ]))

@@ -1,0 +1,161 @@
+(* Critical-path extraction with self-time vs. wait-time attribution.
+
+   Works over generic *activities* — completed units of work with a
+   dependency list — so the same walk serves executor runs (tasks with DAG
+   edges), orchestrator request logs (requests depending on nothing) or
+   anything else that can name its predecessors.  The caller builds
+   activities from its own structures (the executor's report hook joins the
+   scheduler plan with the span log).
+
+   The path is the backward chain from the latest-finishing activity,
+   always stepping to the latest-finishing present dependency, ending at an
+   activity with no (present) dependencies.  Because a consumer starts the
+   moment its last input is ready, the forward segments
+   [prev.finish, this.finish] tile the whole interval from the first
+   activity's start to the makespan: per step, the segment splits into
+   *self* time (the activity actually executing, bounded by its measured
+   work) and *wait* time (transfers, retries, backoff, queueing — whatever
+   kept the segment longer than the work).  Hence the invariant the tests
+   pin: work_s <= duration_s <= makespan_s, with equality of duration and
+   makespan whenever the chain is anchored at a time-zero root. *)
+
+type activity = {
+  act_id : int;
+  act_name : string;
+  act_node : string;
+  act_start : float;  (* first attempt start (<= finish) *)
+  act_finish : float;  (* authoritative completion time *)
+  act_work_s : float;  (* self time of the winning execution *)
+  act_deps : int list;  (* activity ids that must finish first *)
+}
+
+type step = {
+  st_name : string;
+  st_node : string;
+  st_start_s : float;  (* the activity's own start *)
+  st_finish_s : float;
+  st_self_s : float;  (* executing, within this step's path segment *)
+  st_wait_s : float;  (* the rest of the segment *)
+}
+
+type t = {
+  steps : step list;  (* in execution order *)
+  duration_s : float;  (* last finish - first start along the path *)
+  work_s : float;  (* sum of per-step self time *)
+  wait_s : float;  (* sum of per-step wait time *)
+  makespan_s : float;  (* max finish over all activities *)
+  total_work_s : float;  (* sum of work over all activities *)
+}
+
+let later (a : activity) (b : activity) =
+  (* the gating predecessor: latest finish, ties to the smaller id so the
+     walk is deterministic *)
+  if b.act_finish > a.act_finish
+     || (b.act_finish = a.act_finish && b.act_id < a.act_id)
+  then b
+  else a
+
+let extract (acts : activity list) : t option =
+  match acts with
+  | [] -> None
+  | first :: rest ->
+      let by_id = Hashtbl.create (List.length acts) in
+      List.iter (fun a -> Hashtbl.replace by_id a.act_id a) acts;
+      let anchor = List.fold_left later first rest in
+      let rec walk (a : activity) path =
+        let preds = List.filter_map (Hashtbl.find_opt by_id) a.act_deps in
+        match preds with
+        | [] -> a :: path
+        | p :: ps -> walk (List.fold_left later p ps) (a :: path)
+      in
+      let chain = walk anchor [] in
+      let head = List.hd chain in
+      let steps =
+        List.rev
+          (fst
+             (List.fold_left
+                (fun (acc, prev_end) a ->
+                  let seg = a.act_finish -. prev_end in
+                  let self = Float.min (Float.max 0.0 a.act_work_s) seg in
+                  ( { st_name = a.act_name; st_node = a.act_node;
+                      st_start_s = a.act_start; st_finish_s = a.act_finish;
+                      st_self_s = self; st_wait_s = seg -. self }
+                    :: acc,
+                    a.act_finish ))
+                ([], head.act_start) chain))
+      in
+      let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 steps in
+      Some
+        { steps;
+          duration_s = anchor.act_finish -. head.act_start;
+          work_s = sum (fun s -> s.st_self_s);
+          wait_s = sum (fun s -> s.st_wait_s);
+          makespan_s =
+            List.fold_left (fun acc a -> Float.max acc a.act_finish) 0.0 acts;
+          total_work_s =
+            List.fold_left (fun acc a -> acc +. a.act_work_s) 0.0 acts }
+
+(* Path time attributed per node, (self, wait) pairs, largest share first. *)
+let by_node t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let self, wait =
+        Option.value ~default:(0.0, 0.0) (Hashtbl.find_opt tbl s.st_node)
+      in
+      Hashtbl.replace tbl s.st_node (self +. s.st_self_s, wait +. s.st_wait_s))
+    t.steps;
+  Hashtbl.fold (fun node sw acc -> (node, sw) :: acc) tbl []
+  |> List.sort (fun (_, (s1, w1)) (_, (s2, w2)) ->
+         compare (s2 +. w2) (s1 +. w1))
+
+(* The top-[k] path steps by share of the critical path (self + wait). *)
+let bottlenecks ?(k = 5) t =
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare (b.st_self_s +. b.st_wait_s) (a.st_self_s +. a.st_wait_s))
+      t.steps
+  in
+  List.filteri (fun i _ -> i < k) sorted
+
+(* The invariant every extraction must satisfy (eps is absolute). *)
+let check ?(eps = 1e-9) t =
+  t.work_s <= t.duration_s +. eps
+  && t.duration_s <= t.makespan_s +. eps
+  && t.work_s <= t.total_work_s +. eps
+  && List.for_all (fun s -> s.st_self_s >= 0.0 && s.st_wait_s >= 0.0) t.steps
+
+(* ---- serialization -------------------------------------------------------------- *)
+
+let step_to_json s =
+  Json.Obj
+    [ ("task", Json.Str s.st_name); ("node", Json.Str s.st_node);
+      ("start_s", Json.Num s.st_start_s);
+      ("finish_s", Json.Num s.st_finish_s);
+      ("self_s", Json.Num s.st_self_s); ("wait_s", Json.Num s.st_wait_s) ]
+
+let to_json t =
+  Json.Obj
+    [ ("duration_s", Json.Num t.duration_s); ("work_s", Json.Num t.work_s);
+      ("wait_s", Json.Num t.wait_s); ("makespan_s", Json.Num t.makespan_s);
+      ("total_work_s", Json.Num t.total_work_s);
+      ("steps", Json.Arr (List.map step_to_json t.steps)) ]
+
+let step_of_json j =
+  { st_name = Json.need_str "task" j; st_node = Json.need_str "node" j;
+    st_start_s = Json.need_num "start_s" j;
+    st_finish_s = Json.need_num "finish_s" j;
+    st_self_s = Json.need_num "self_s" j;
+    st_wait_s = Json.need_num "wait_s" j }
+
+let of_json j =
+  { duration_s = Json.need_num "duration_s" j;
+    work_s = Json.need_num "work_s" j; wait_s = Json.need_num "wait_s" j;
+    makespan_s = Json.need_num "makespan_s" j;
+    total_work_s = Json.need_num "total_work_s" j;
+    steps = List.map step_of_json (Json.to_list (Json.need "steps" j)) }
+
+let pp ppf t =
+  Fmt.pf ppf "critical path: %d steps, %.4gs (self %.4gs + wait %.4gs)"
+    (List.length t.steps) t.duration_s t.work_s t.wait_s

@@ -1,0 +1,154 @@
+(* Diff two run reports (as JSON trees) and flag regressions.
+
+   The walk pairs numeric leaves by path; array elements are matched by an
+   identity member ("task", "node", "slo" or "name") when present, by
+   position otherwise, so reordering a node list does not read as churn.
+   A numeric change beyond [tolerance] (relative) becomes a *regression*
+   only when it moves in the bad direction for that metric — times, waits
+   and drop counts must not grow, utilization and attainment must not
+   shrink; counters with no inherent direction (start times, totals,
+   targets) are recorded as changes but never flagged.  A met-SLO turning
+   unmet is always a regression regardless of tolerance. *)
+
+type change = {
+  c_path : string;
+  c_before : string;  (* rendered old value ("-" when absent) *)
+  c_after : string;  (* rendered new value *)
+  c_delta : float;  (* relative change; nan when not numeric *)
+  c_regression : bool;
+}
+
+type direction = Higher_better | Lower_better | Neutral
+
+(* Direction of a metric, from the last path segment. *)
+let direction_of_key key =
+  let lower =
+    [ "makespan_s"; "duration_s"; "wait_s"; "idle_s"; "len_s"; "xfer_s";
+      "dropped"; "budget_used"; "bad"; "retries"; "timeouts"; "recomputed";
+      "energy_j"; "bytes_moved"; "transfers" ]
+  and higher = [ "util"; "attained"; "tasks_done"; "tasks"; "busy_s" ] in
+  if List.mem key lower then Lower_better
+  else if List.mem key higher then Higher_better
+  else if
+    (* latency quantiles: p50_s, p95_s, p99_s, ... *)
+    String.length key > 2
+    && key.[0] = 'p'
+    && (match key.[1] with '0' .. '9' -> true | _ -> false)
+  then Lower_better
+  else Neutral
+
+let render_leaf = function
+  | Json.Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.sprintf "%.0f" f
+      else Printf.sprintf "%.6g" f
+  | Json.Str s -> s
+  | Json.Bool b -> string_of_bool b
+  | Json.Null -> "null"
+  | Json.Arr _ -> "[...]"
+  | Json.Obj _ -> "{...}"
+
+let last_segment path =
+  match String.rindex_opt path '.' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+(* Identity of an array element, when it carries one. *)
+let identity j =
+  List.find_map (fun k -> Json.str_member k j) [ "task"; "node"; "slo"; "name" ]
+
+let diff ?(tolerance = 0.05) ~(before : Json.t) ~(after : Json.t) () :
+    change list =
+  let out = ref [] in
+  let emit c = out := c :: !out in
+  let join path k = if path = "" then k else path ^ "." ^ k in
+  let missing path side v =
+    emit
+      { c_path = path;
+        c_before = (if side = `Before then render_leaf v else "-");
+        c_after = (if side = `After then render_leaf v else "-");
+        c_delta = Float.nan; c_regression = false }
+  in
+  let rec go path (b : Json.t) (a : Json.t) =
+    match (b, a) with
+    | Json.Num x, Json.Num y ->
+        let delta = (y -. x) /. Float.max (Float.abs x) 1e-12 in
+        if Float.abs delta > tolerance then
+          let regression =
+            match direction_of_key (last_segment path) with
+            | Lower_better -> y > x
+            | Higher_better -> y < x
+            | Neutral -> false
+          in
+          emit
+            { c_path = path; c_before = render_leaf b; c_after = render_leaf a;
+              c_delta = delta; c_regression = regression }
+    | Json.Bool x, Json.Bool y when x <> y ->
+        (* the only booleans in a report are "met" flags: true->false bad *)
+        emit
+          { c_path = path; c_before = render_leaf b; c_after = render_leaf a;
+            c_delta = Float.nan; c_regression = x && not y }
+    | Json.Str x, Json.Str y when x <> y ->
+        emit
+          { c_path = path; c_before = x; c_after = y; c_delta = Float.nan;
+            c_regression = false }
+    | Json.Obj bs, Json.Obj as_ ->
+        List.iter
+          (fun (k, bv) ->
+            match List.assoc_opt k as_ with
+            | Some av -> go (join path k) bv av
+            | None -> missing (join path k) `Before bv)
+          bs;
+        List.iter
+          (fun (k, av) ->
+            if List.assoc_opt k bs = None then missing (join path k) `After av)
+          as_
+    | Json.Arr bs, Json.Arr as_ ->
+        let keyed xs =
+          List.mapi
+            (fun i x ->
+              (Option.value ~default:(string_of_int i) (identity x), x))
+            xs
+        in
+        let bk = keyed bs and ak = keyed as_ in
+        List.iter
+          (fun (k, bv) ->
+            match List.assoc_opt k ak with
+            | Some av -> go (join path ("[" ^ k ^ "]")) bv av
+            | None -> missing (join path ("[" ^ k ^ "]")) `Before bv)
+          bk;
+        List.iter
+          (fun (k, av) ->
+            if List.assoc_opt k bk = None then
+              missing (join path ("[" ^ k ^ "]")) `After av)
+          ak
+    | Json.Null, Json.Null -> ()
+    | _, _ when b = a -> ()
+    | _ ->
+        (* type changed (e.g. critical_path null -> object) *)
+        emit
+          { c_path = path; c_before = render_leaf b; c_after = render_leaf a;
+            c_delta = Float.nan; c_regression = false }
+  in
+  go "" before after;
+  List.rev !out
+
+let regressions changes = List.filter (fun c -> c.c_regression) changes
+
+let pp_change ppf c =
+  if Float.is_nan c.c_delta then
+    Fmt.pf ppf "%-40s %s -> %s%s" c.c_path c.c_before c.c_after
+      (if c.c_regression then "  REGRESSION" else "")
+  else
+    Fmt.pf ppf "%-40s %s -> %s (%+.1f%%)%s" c.c_path c.c_before c.c_after
+      (100.0 *. c.c_delta)
+      (if c.c_regression then "  REGRESSION" else "")
+
+let render_text changes =
+  match changes with
+  | [] -> "no changes beyond tolerance\n"
+  | cs ->
+      let bad = List.length (regressions cs) in
+      Fmt.str "%a%d change(s), %d regression(s)\n"
+        (Fmt.list ~sep:Fmt.nop (fun ppf c -> Fmt.pf ppf "%a\n" pp_change c))
+        cs (List.length cs) bad

@@ -172,6 +172,7 @@ type request_log = {
   attempts : int;
   degraded : bool;  (* breaker diverted a hardware pick to software *)
   ok : bool;
+  t_done : float;  (* simulated completion time, for SLO windows *)
 }
 
 (* Serve [n] closed-loop requests under [policy].  [slowdown req variant]
@@ -182,12 +183,17 @@ type request_log = {
    failure verdict.  Failures feed the variant's circuit breaker and are
    retried (with backoff) up to [max_attempts]; while a hardware variant's
    breaker is open, requests for it degrade to the first software variant
-   until a half-open probe succeeds. *)
+   until a half-open probe succeeds.
+
+   [slos] are online SLO monitors fed as each request completes (simulated
+   completion time, final latency and outcome); burn-rate gauges are
+   published per monitor — only when monitors were passed, so default runs
+   touch no extra metrics. *)
 let serve orch ~kernel ~n ~policy
     ?(slowdown = fun _req _variant -> 1.0)
     ?(features = fun _req -> [])
     ?(fail = fun ~req:_ ~variant:_ ~attempt:_ -> false)
-    ?(max_attempts = 3) () =
+    ?(max_attempts = 3) ?(slos = []) () =
   let dk = find_kernel orch kernel in
   let registry = orch.registry in
   let labels = [ ("kernel", kernel) ] in
@@ -321,8 +327,12 @@ let serve orch ~kernel ~n ~policy
               last_variant := Some variant;
               log :=
                 { req; requested; variant; latency_s = latency;
-                  attempts = attempt; degraded; ok }
+                  attempts = attempt; degraded; ok; t_done = now }
                 :: !log;
+              List.iter
+                (fun m ->
+                  Everest_observe.Slo.observe m ~now ~latency_s:latency ~ok ())
+                slos;
               Metrics.inc m_requests;
               Metrics.observe h_latency latency;
               let faults = orch.protection.Protection.total_alerts in
@@ -363,6 +373,25 @@ let serve orch ~kernel ~n ~policy
   loop 0;
   Cluster.run orch.cluster;
   publish_metrics orch;
+  (* end-of-run SLO gauges, one set per monitor (skipped entirely when no
+     monitors were passed, keeping default runs byte-identical) *)
+  List.iter
+    (fun m ->
+      let module Slo = Everest_observe.Slo in
+      let slo_labels = labels @ [ ("slo", Slo.monitor_name m) ] in
+      let r = Slo.snapshot m in
+      Metrics.set
+        (Metrics.gauge ~registry ~labels:slo_labels
+           "orchestrator_slo_budget_used")
+        r.Slo.budget_used;
+      Metrics.set
+        (Metrics.gauge ~registry ~labels:slo_labels "orchestrator_slo_met")
+        (if r.Slo.met then 1.0 else 0.0);
+      Metrics.set
+        (Metrics.gauge ~registry ~labels:slo_labels
+           "orchestrator_slo_alerts")
+        (float_of_int (Slo.alerts m)))
+    slos;
   List.rev !log
 
 let total_latency log =
@@ -382,6 +411,13 @@ let availability log =
       float_of_int ok /. float_of_int (List.length log)
 
 let degraded_requests log = List.length (List.filter (fun r -> r.degraded) log)
+
+let slo_outcomes log =
+  List.map
+    (fun r ->
+      { Everest_observe.Slo.o_t_s = r.t_done; o_ok = r.ok;
+        o_latency_s = r.latency_s })
+    log
 
 let variant_histogram log =
   List.fold_left

@@ -103,6 +103,7 @@ type request_log = {
   attempts : int;
   degraded : bool;  (** A breaker diverted a hardware pick to software. *)
   ok : bool;
+  t_done : float;  (** Simulated completion time, for SLO windows. *)
 }
 
 (** Serve [n] closed-loop requests.  [slowdown req variant] injects
@@ -114,7 +115,12 @@ type request_log = {
     retried with backoff up to [max_attempts] (default 3).  While a
     hardware variant's breaker is open, requests for it are served by the
     first software variant (graceful degradation), recorded per request in
-    [degraded] and in the [orchestrator_degraded_total] counter. *)
+    [degraded] and in the [orchestrator_degraded_total] counter.
+
+    [slos] are online {!Everest_observe.Slo} monitors fed as each request
+    completes (simulated completion time, final latency, outcome); their
+    end-of-run verdicts land in [orchestrator_slo_*] gauges labelled by
+    monitor name.  Without monitors no extra metrics are touched. *)
 val serve :
   t ->
   kernel:string ->
@@ -124,6 +130,7 @@ val serve :
   ?features:(int -> (string * float) list) ->
   ?fail:(req:int -> variant:string -> attempt:int -> bool) ->
   ?max_attempts:int ->
+  ?slos:Everest_observe.Slo.monitor list ->
   unit ->
   request_log list
 
@@ -137,3 +144,7 @@ val availability : request_log list -> float
 val degraded_requests : request_log list -> int
 
 val variant_histogram : request_log list -> (string * int) list
+
+(** The request log as batch SLO outcomes, for
+    {!Everest_observe.Slo.evaluate_all} over a finished run. *)
+val slo_outcomes : request_log list -> Everest_observe.Slo.outcome list

@@ -43,7 +43,9 @@ let attr_json (k, v) =
 let span_json ~pid (s : Trace.span) =
   let us t = t *. 1e6 in
   (* attrs may carry shadowed duplicates (Trace.finish prepends); keep the
-     first binding of each key, like Trace.attr does *)
+     first binding of each key, like Trace.attr does.  The synthetic
+     "parent" arg below counts as already bound, so a user attribute of the
+     same name cannot produce a duplicate JSON key. *)
   let attrs =
     List.rev
       (fst
@@ -51,7 +53,8 @@ let span_json ~pid (s : Trace.span) =
             (fun (acc, seen) (k, v) ->
               if List.mem_assoc k seen then (acc, seen)
               else ((k, v) :: acc, (k, ()) :: seen))
-            ([], []) s.Trace.attrs))
+            ([], [ ("parent", ()) ])
+            s.Trace.attrs))
   in
   let args =
     ("parent",

@@ -129,6 +129,7 @@ let reset t =
   t.spans <- [];
   t.n_spans <- 0;
   t.dropped <- 0;
+  t.next_id <- 0;
   t.stack <- [];
   t.track_names <- []
 

@@ -1,0 +1,100 @@
+(** Hierarchical spans over a pluggable clock with a bounded in-memory sink.
+
+    A span is one timed region with attributes; parent/child nesting comes
+    either from an explicit [?parent] (asynchronous code: the executor opens
+    a task span and nests transfers under it across Desim callbacks) or from
+    the tracer's stack of currently open [with_span] scopes (synchronous
+    code: compiler passes, DSE stages).
+
+    The sink keeps the first [capacity] started spans and counts the rest as
+    dropped — telemetry must never grow without bound inside a long run. *)
+
+type attr_value = S of string | I of int | F of float | B of bool
+
+type attr = string * attr_value
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  track : int;  (** render lane: Chrome trace tid; executor uses one per node *)
+  start_s : float;
+  mutable end_s : float;  (** < [start_s] while the span is still open *)
+  mutable attrs : attr list;
+}
+
+type t
+
+(** [create ()] makes a fresh tracer. Span ids are allocated monotonically
+    from 0, counting every *started* span — including spans dropped once the
+    sink is full — so an id is a stable identity within one tracer
+    generation. [reset] starts a new generation: ids restart at 0 and any
+    spans retained from before the reset must not be mixed with spans
+    recorded after it. *)
+val create : ?capacity:int -> ?clock:Clock.t -> unit -> t
+
+(** The shared disabled tracer: records nothing, costs (almost) nothing.
+    Instrumented code paths default to it so uninstrumented runs stay
+    fast. *)
+val noop : t
+
+val is_noop : t -> bool
+
+(** [name_track t track name] gives a render track a human name (first
+    binding wins). *)
+val name_track : t -> int -> string -> unit
+
+val track_name : t -> int -> string option
+val named_tracks : t -> (int * string) list
+
+val start : t -> ?parent:int -> ?track:int -> ?attrs:attr list -> string -> span
+
+(** [set_attr s key v] sets [key], replacing any previous binding. *)
+val set_attr : span -> string -> attr_value -> unit
+
+(** [finish t ?attrs s] stamps the end time; [?attrs] are *prepended*, so
+    late attributes shadow earlier ones ([attr] reads the first binding) and
+    the hot path stays allocation-light — exporters dedupe on their own,
+    cold, path. *)
+val finish : t -> ?attrs:attr list -> span -> unit
+
+val finished : span -> bool
+
+(** 0 while the span is still open. *)
+val duration : span -> float
+
+(** Synchronous scoped span: nesting tracked on the tracer's stack. The
+    callback always receives a span it may set attributes on, even when
+    tracing is disabled. *)
+val with_span : t -> ?attrs:attr list -> string -> (span -> 'a) -> 'a
+
+(** Completed+open spans in start order (copies the log). *)
+val spans : t -> span list
+
+(** Same spans, newest first, without the copy — for hot paths that only
+    fold over the log and don't care about order. *)
+val spans_rev : t -> span list
+
+val span_count : t -> int
+
+(** Spans lost to the bounded sink. *)
+val dropped : t -> int
+
+(** O(n) scans — fine for tests and one-shot queries; index the log with
+    [Everest_observe.Span_dag] for repeated lookups. *)
+val roots : t -> span list
+
+val children : t -> span -> span list
+val find : t -> string -> span option
+
+val attr : span -> string -> attr_value option
+val attr_int : span -> string -> int option
+val attr_string : span -> string -> string option
+
+(** Drop every recorded span and start a new tracer generation: span ids
+    restart at 0 (see [create]), the open-scope stack, drop counter and
+    track names are cleared. The clock and capacity are kept. *)
+val reset : t -> unit
+
+val pp_attr_value : attr_value Fmt.t
+val pp_span : span Fmt.t

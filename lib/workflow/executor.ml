@@ -27,6 +27,7 @@ module Policy = Everest_resilience.Policy
 module Health = Everest_resilience.Health
 module Lineage = Everest_resilience.Lineage
 module Rng = Everest_parallel.Rng
+module Observe = Everest_observe
 
 type stats = {
   makespan : float;
@@ -40,6 +41,7 @@ type stats = {
   speculative : int;
   recomputed : int;
   span_log : Trace.span list;
+  report : Observe.Report.t Lazy.t;
 }
 
 exception Execution_failed of { reason : string; partial : stats }
@@ -73,6 +75,162 @@ let trace_bytes_moved spans =
                     && String.sub s.Trace.name 0 5 = "xfer:" -> acc + b
       | _ -> acc)
     0 spans
+
+(* ---- run report ----------------------------------------------------------------- *)
+
+(* The analytics hook on [stats]: a lazy report so runs that never ask for
+   one pay nothing.  Everything it needs is captured when the stats record
+   is built (the run is over by then, so [finish] and the span log are
+   final); forcing it indexes the span log, joins it with the DAG into
+   critical-path activities and reconciles per-node utilization against the
+   engine's queueing counters. *)
+let build_report ~(plan : Scheduler.plan) ~tracer ~registry ~labels
+    ~(cluster : Cluster.t) ~finish ~makespan ~retries ~timeouts ~speculative
+    ~recomputed ~bytes_moved ~transfers ~energy_j =
+  let dag = plan.Scheduler.dag in
+  lazy
+    begin
+      let trace_on = not (Trace.is_noop tracer) in
+      let span_log = if trace_on then Trace.spans_rev tracer else [] in
+      let sd = Observe.Span_dag.of_spans span_log in
+      let tasks_total = Array.length dag.Dag.tasks in
+      let tasks_done =
+        Array.fold_left (fun n f -> if f >= 0.0 then n + 1 else n) 0 finish
+      in
+      let cp =
+        if span_log = [] then None
+        else begin
+          (* one pass over the sorted log: group attempt spans by the task
+             id they carry, and accumulate the transfer time nested under
+             each attempt (subtracted from the winner's span so pull time
+             reads as wait on the critical path, not work) *)
+          let by_task = Array.make tasks_total [] in
+          let xfer_under = Hashtbl.create 64 in
+          Array.iter
+            (fun (s : Trace.span) ->
+              if String.starts_with ~prefix:"task:" s.Trace.name then begin
+                match Trace.attr_int s "task" with
+                | Some i when i >= 0 && i < tasks_total ->
+                    by_task.(i) <- s :: by_task.(i)
+                | _ -> ()
+              end
+              else if String.starts_with ~prefix:"xfer:" s.Trace.name then
+                match s.Trace.parent with
+                | Some p ->
+                    Hashtbl.replace xfer_under p
+                      (Trace.duration s
+                      +. Option.value ~default:0.0
+                           (Hashtbl.find_opt xfer_under p))
+                | None -> ())
+            (Observe.Span_dag.spans sd);
+          let acts = ref [] in
+          Array.iteri
+            (fun i f ->
+              match by_task.(i) with
+              | spans when spans <> [] && f >= 0.0 ->
+                  let start =
+                    List.fold_left
+                      (fun acc (s : Trace.span) ->
+                        Float.min acc s.Trace.start_s)
+                      infinity spans
+                  in
+                  (* the winning execution: the first completion, falling
+                     back to any finished attempt for recomputed outputs *)
+                  let winner =
+                    match
+                      List.find_opt
+                        (fun s -> Trace.attr_string s "status" = Some "ok")
+                        spans
+                    with
+                    | Some _ as w -> w
+                    | None -> List.find_opt Trace.finished spans
+                  in
+                  let work =
+                    match winner with
+                    | None -> 0.0
+                    | Some w ->
+                        let xfer =
+                          Option.value ~default:0.0
+                            (Hashtbl.find_opt xfer_under w.Trace.id)
+                        in
+                        Float.max 0.0 (Trace.duration w -. xfer)
+                  in
+                  let node =
+                    match
+                      Option.bind winner (fun w -> Trace.attr_string w "node")
+                    with
+                    | Some n -> n
+                    | None -> plan.Scheduler.assignments.(i).Scheduler.node
+                  in
+                  acts :=
+                    { Observe.Critical_path.act_id = i;
+                      act_name = dag.Dag.tasks.(i).Dag.name;
+                      act_node = node;
+                      act_start =
+                        (if Float.is_finite start then start else 0.0);
+                      act_finish = f; act_work_s = work;
+                      act_deps = dag.Dag.tasks.(i).Dag.inputs }
+                    :: !acts
+              | _ -> ())
+            finish;
+          Observe.Critical_path.extract !acts
+        end
+      in
+      let util =
+        if span_log = [] then None
+        else begin
+          let waits =
+            List.map
+              (fun (n : Node.t) ->
+                let w r = (Desim.wait_stats r).Desim.ws_total_wait_s in
+                ( n.Node.name,
+                  w n.Node.cores
+                  +. List.fold_left
+                       (fun acc (f : Node.fpga_dev) -> acc +. w f.Node.slots)
+                       0.0 n.Node.fpgas ))
+              cluster.Cluster.nodes
+          in
+          Some
+            (Observe.Utilization.of_span_dag ~horizon:makespan
+               ~track_names:(Trace.named_tracks tracer) ~waits sd)
+        end
+      in
+      let quantiles =
+        match Metrics.find ~registry ~labels "workflow_task_duration_s" with
+        | Some { Metrics.value = Metrics.Histogram h; _ }
+          when Metrics.hist_count h > 0 ->
+            [ ("p50_s", Metrics.quantile h 0.5);
+              ("p90_s", Metrics.quantile h 0.9);
+              ("p99_s", Metrics.quantile h 0.99) ]
+        | _ -> []
+      in
+      let counters =
+        [ ("retries", float_of_int retries);
+          ("timeouts", float_of_int timeouts);
+          ("speculative", float_of_int speculative);
+          ("recomputed", float_of_int recomputed);
+          ("transfers", float_of_int transfers);
+          ("bytes_moved", float_of_int bytes_moved);
+          ("energy_j", energy_j) ]
+      in
+      let outcomes =
+        Array.to_list
+          (Array.map
+             (fun f ->
+               { Observe.Slo.o_t_s = (if f >= 0.0 then f else makespan);
+                 o_ok = f >= 0.0; o_latency_s = 0.0 })
+             finish)
+      in
+      let slos =
+        [ Observe.Slo.evaluate
+            (Observe.Slo.completion "tasks_completed" 1.0)
+            outcomes ]
+      in
+      Observe.Report.make ~name:dag.Dag.dag_name ~policy:plan.Scheduler.policy
+        ~tasks_done ~tasks_total ~spans:(List.length span_log)
+        ~dropped:(Trace.dropped tracer) ~makespan_s:makespan ?cp ?util
+        ~quantiles ~counters ~slos ()
+    end
 
 (* ---- execution ------------------------------------------------------------------ *)
 
@@ -240,6 +398,9 @@ let execute ?(failures = []) ?faults ?(policy = Policy.default)
         let attrs =
           if recompute then ("recompute", Trace.B true) :: attrs else attrs
         in
+        (* the task id ties attempt spans back to the DAG for the report's
+           critical-path join; only paid when tracing is on *)
+        let attrs = ("task", Trace.I i) :: attrs in
         Some (Trace.start tracer ~track ~attrs ("task:" ^ t.Dag.name))
       end
       else None
@@ -529,6 +690,12 @@ let execute ?(failures = []) ?faults ?(policy = Policy.default)
         speculative = !speculative;
         recomputed = !recomputed;
         span_log = (if trace_on then Trace.spans_rev tracer else []);
+        report =
+          build_report ~plan ~tracer ~registry ~labels ~cluster:c ~finish
+            ~makespan ~retries:!retries ~timeouts:!timeouts
+            ~speculative:!speculative ~recomputed:!recomputed
+            ~bytes_moved:c.Cluster.bytes_moved ~transfers:c.Cluster.transfers
+            ~energy_j:(Cluster.total_energy c);
       }
     in
     Execution_failed { reason; partial }
@@ -567,6 +734,12 @@ let execute ?(failures = []) ?faults ?(policy = Policy.default)
     speculative = !speculative;
     recomputed = !recomputed;
     span_log = (if trace_on then Trace.spans_rev tracer else []);
+    report =
+      build_report ~plan ~tracer ~registry ~labels ~cluster:c ~finish
+        ~makespan ~retries:!retries ~timeouts:!timeouts
+        ~speculative:!speculative ~recomputed:!recomputed
+        ~bytes_moved:c.Cluster.bytes_moved ~transfers:c.Cluster.transfers
+        ~energy_j:(Cluster.total_energy c);
   }
 
 (* Convenience: build a fresh demonstrator, schedule with [policy], run. *)

@@ -30,6 +30,12 @@ type stats = {
           transfer), newest first; empty under the default no-op tracer.
           The headline counters are derivable from it — see
           {!trace_retries} and friends. *)
+  report : Everest_observe.Report.t Lazy.t;
+      (** Analytics over the run — critical path with self/wait
+          attribution, per-node utilization reconciled against Desim wait
+          stats, latency quantiles, a completion SLO — computed only when
+          forced.  Untraced runs get a report with counters and quantiles
+          but no critical path or utilization (those need the span log). *)
 }
 
 (** Raised when recovery can no longer make progress (every node dead, or a

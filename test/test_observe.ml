@@ -1,0 +1,504 @@
+(* Tests for everest_observe: the span-DAG index agrees with naive scans
+   over the raw log, critical-path extraction is exact on a hand-built
+   chain and tiles [0, makespan] on real executor runs, utilization
+   reconciles with the span log, SLOs evaluate and burn-rate alerts flip
+   over simulated time, reports round-trip through JSON, and the
+   regression differ flags only genuine regressions. *)
+
+open Everest_observe
+module Trace = Everest_telemetry.Trace
+module Clock = Everest_telemetry.Clock
+module Metrics = Everest_telemetry.Metrics
+module Wf = Everest_workflow
+module Rt = Everest_runtime
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* A traced run of a layered stress DAG (the CLI drill's workload). *)
+let traced_run ?(seed = 7) () =
+  let dag = Wf.Dag.layered ~seed ~layers:4 ~width:3 ~flops:2e9 ~bytes:1e6 () in
+  let registry = Metrics.create_registry () in
+  let _, stats =
+    Wf.Executor.run_on_demonstrator ~policy:"heft-locality" ~tracer:`Sim
+      ~registry dag
+  in
+  (dag, stats)
+
+(* ---- span dag ------------------------------------------------------------------- *)
+
+let start_order (a : Trace.span) (b : Trace.span) =
+  match compare a.Trace.start_s b.Trace.start_s with
+  | 0 -> compare a.Trace.id b.Trace.id
+  | c -> c
+
+let test_span_dag_agrees_with_naive () =
+  let _, stats = traced_run () in
+  let spans = stats.Wf.Executor.span_log in
+  checkb "have spans" true (spans <> []);
+  let sd = Span_dag.of_spans spans in
+  checki "size" (List.length spans) (Span_dag.size sd);
+  let naive_children id =
+    List.sort start_order
+      (List.filter (fun (s : Trace.span) -> s.Trace.parent = Some id) spans)
+  in
+  List.iter
+    (fun (s : Trace.span) ->
+      checkb
+        (Printf.sprintf "children of %d agree" s.Trace.id)
+        true
+        (Span_dag.children sd s.Trace.id = naive_children s.Trace.id);
+      checkb "id lookup finds the very span" true
+        (match Span_dag.span sd s.Trace.id with
+        | Some x -> x == s
+        | None -> false);
+      (* find returns the earliest-started span of that name *)
+      let naive_find =
+        List.hd
+          (List.sort start_order
+             (List.filter
+                (fun (x : Trace.span) -> String.equal x.Trace.name s.Trace.name)
+                spans))
+      in
+      checkb ("find " ^ s.Trace.name) true
+        (match Span_dag.find sd s.Trace.name with
+        | Some x -> x == naive_find
+        | None -> false))
+    spans;
+  checkb "roots agree" true
+    (Span_dag.roots sd
+    = List.sort start_order
+        (List.filter (fun (s : Trace.span) -> s.Trace.parent = None) spans));
+  (* track timelines partition the log *)
+  let by_tracks =
+    List.concat_map (Span_dag.track_spans sd) (Span_dag.tracks sd)
+  in
+  checki "tracks partition the log" (List.length spans) (List.length by_tracks);
+  checki "task prefix matches naive filter"
+    (List.length
+       (List.filter
+          (fun (s : Trace.span) ->
+            String.length s.Trace.name >= 5
+            && String.sub s.Trace.name 0 5 = "task:")
+          spans))
+    (List.length (Span_dag.with_prefix sd "task:"))
+
+(* ---- critical path -------------------------------------------------------------- *)
+
+let act ~id ~name ~start ~finish ~work ~deps =
+  { Critical_path.act_id = id; act_name = name; act_node = "n";
+    act_start = start; act_finish = finish; act_work_s = work;
+    act_deps = deps }
+
+let test_critical_path_exact_chain () =
+  (* a -> b -> c back-to-back: the path is the whole run, all self time *)
+  let acts =
+    [ act ~id:0 ~name:"a" ~start:0.0 ~finish:1.0 ~work:1.0 ~deps:[];
+      act ~id:1 ~name:"b" ~start:1.0 ~finish:2.5 ~work:1.5 ~deps:[ 0 ];
+      act ~id:2 ~name:"c" ~start:2.5 ~finish:3.0 ~work:0.5 ~deps:[ 1 ] ]
+  in
+  match Critical_path.extract acts with
+  | None -> Alcotest.fail "no path"
+  | Some cp ->
+      checki "three steps" 3 (List.length cp.Critical_path.steps);
+      checkf "duration = makespan" 3.0 cp.Critical_path.duration_s;
+      checkf "makespan" 3.0 cp.Critical_path.makespan_s;
+      checkf "all self" 3.0 cp.Critical_path.work_s;
+      checkf "no wait" 0.0 cp.Critical_path.wait_s;
+      checkb "invariant" true (Critical_path.check cp);
+      checkb "names in order" true
+        (List.map
+           (fun (s : Critical_path.step) -> s.Critical_path.st_name)
+           cp.Critical_path.steps
+        = [ "a"; "b"; "c" ])
+
+let test_critical_path_attributes_wait () =
+  (* b finishes 2s after a but only works 0.5s: 1.5s of its segment is
+     wait (transfer/queue), and a fast sibling must not hijack the path *)
+  let acts =
+    [ act ~id:0 ~name:"a" ~start:0.0 ~finish:1.0 ~work:1.0 ~deps:[];
+      act ~id:1 ~name:"sibling" ~start:0.0 ~finish:0.4 ~work:0.4 ~deps:[];
+      act ~id:2 ~name:"b" ~start:1.0 ~finish:3.0 ~work:0.5 ~deps:[ 0; 1 ] ]
+  in
+  match Critical_path.extract acts with
+  | None -> Alcotest.fail "no path"
+  | Some cp ->
+      checkb "path is a -> b" true
+        (List.map
+           (fun (s : Critical_path.step) -> s.Critical_path.st_name)
+           cp.Critical_path.steps
+        = [ "a"; "b" ]);
+      checkf "duration" 3.0 cp.Critical_path.duration_s;
+      checkf "self" 1.5 cp.Critical_path.work_s;
+      checkf "wait" 1.5 cp.Critical_path.wait_s;
+      let b = List.nth cp.Critical_path.steps 1 in
+      checkf "b self" 0.5 b.Critical_path.st_self_s;
+      checkf "b wait" 1.5 b.Critical_path.st_wait_s;
+      (* the sibling is off-path but still counts toward total work *)
+      checkf "total work" 1.9 cp.Critical_path.total_work_s;
+      checkb "bottleneck is b" true
+        ((List.hd (Critical_path.bottlenecks ~k:1 cp)).Critical_path.st_name
+        = "b")
+
+let prop_cp_duration_equals_makespan =
+  (* on any completed executor run the extracted path must tile exactly
+     the interval [0, makespan]: roots launch at t=0 and consumers launch
+     the moment their last input lands *)
+  QCheck.Test.make ~count:8 ~name:"critical path duration = makespan"
+    QCheck.(pair (int_range 1 1000) (pair (int_range 2 4) (int_range 2 4)))
+    (fun (seed, (layers, width)) ->
+      let dag = Wf.Dag.layered ~seed ~layers ~width ~flops:1e9 ~bytes:5e5 () in
+      let registry = Metrics.create_registry () in
+      let _, stats =
+        Wf.Executor.run_on_demonstrator ~policy:"min-load" ~tracer:`Sim
+          ~registry dag
+      in
+      let report = Lazy.force stats.Wf.Executor.report in
+      match report.Report.r_cp with
+      | None -> false
+      | Some cp ->
+          Critical_path.check cp
+          && Float.abs
+               (cp.Critical_path.duration_s -. stats.Wf.Executor.makespan)
+             <= 1e-9 *. Float.max 1.0 stats.Wf.Executor.makespan
+          && cp.Critical_path.work_s <= cp.Critical_path.total_work_s +. 1e-9)
+
+(* ---- utilization ---------------------------------------------------------------- *)
+
+let test_utilization_reconciles () =
+  let _, stats = traced_run () in
+  let report = Lazy.force stats.Wf.Executor.report in
+  let u =
+    match report.Report.r_util with
+    | Some u -> u
+    | None -> Alcotest.fail "no utilization"
+  in
+  checkb "consistency check" true (Utilization.check u);
+  checkf "horizon is the makespan" stats.Wf.Executor.makespan
+    u.Utilization.u_horizon_s;
+  (* per node, the span-time sum must match a direct fold over the raw
+     log, and merged busy time can never exceed it *)
+  let sd = Span_dag.of_spans stats.Wf.Executor.span_log in
+  List.iter
+    (fun (n : Utilization.node_util) ->
+      let raw =
+        List.fold_left
+          (fun acc (s : Trace.span) ->
+            let is_task =
+              String.length s.Trace.name >= 5
+              && String.sub s.Trace.name 0 5 = "task:"
+            in
+            if is_task then acc +. Trace.duration s else acc)
+          0.0
+          (Span_dag.track_spans sd n.Utilization.nu_track)
+      in
+      Alcotest.check (Alcotest.float 1e-9)
+        ("span_s matches the log on " ^ n.Utilization.nu_node)
+        raw n.Utilization.nu_span_s;
+      checkb "busy <= raw span time" true
+        (n.Utilization.nu_busy_s <= raw +. 1e-9))
+    u.Utilization.u_nodes;
+  (* every first completion lands on exactly one node's counter *)
+  let tasks =
+    List.fold_left
+      (fun acc (n : Utilization.node_util) -> acc + n.Utilization.nu_tasks)
+      0 u.Utilization.u_nodes
+  in
+  checki "ok attempts partition across nodes"
+    (Wf.Executor.trace_tasks_completed stats.Wf.Executor.span_log)
+    tasks
+
+let test_utilization_gaps () =
+  (* one track, two spans with a 2s hole: busy 2, idle 3 (incl. the tail) *)
+  let m = Clock.manual () in
+  let tr = Trace.create ~clock:(Clock.of_manual m) () in
+  let s1 = Trace.start tr ~track:1 "task:a" in
+  Clock.advance m 1.0;
+  Trace.finish tr s1;
+  Clock.advance m 2.0;
+  let s2 = Trace.start tr ~track:1 "task:b" in
+  Clock.advance m 1.0;
+  Trace.finish tr s2;
+  let u =
+    Utilization.of_span_dag ~horizon:5.0
+      ~track_names:[ (1, "n0") ]
+      (Span_dag.of_tracer tr)
+  in
+  match u.Utilization.u_nodes with
+  | [ n ] ->
+      checkf "busy" 2.0 n.Utilization.nu_busy_s;
+      checkf "idle" 3.0 n.Utilization.nu_idle_s;
+      checkb "check" true (Utilization.check u);
+      (* largest gap first: the 2s hole, then the 1s tail *)
+      (match n.Utilization.nu_gaps with
+      | (g1s, g1l) :: (g2s, g2l) :: _ ->
+          checkf "hole start" 1.0 g1s;
+          checkf "hole length" 2.0 g1l;
+          checkf "tail start" 4.0 g2s;
+          checkf "tail length" 1.0 g2l
+      | _ -> Alcotest.fail "expected two gaps");
+      checkb "worst gap" true
+        (Utilization.worst_gap u = Some ("n0", 1.0, 2.0))
+  | _ -> Alcotest.fail "expected one node"
+
+(* ---- slo ------------------------------------------------------------------------ *)
+
+let outcome t ok lat = { Slo.o_t_s = t; o_ok = ok; o_latency_s = lat }
+
+let test_slo_evaluate () =
+  (* 5 of 100 fail -> availability 0.95, half the 0.1 budget burnt *)
+  let outcomes =
+    List.init 100 (fun i ->
+        outcome (float_of_int i *. 0.01) (i mod 20 <> 0) 0.01)
+  in
+  let r = Slo.evaluate (Slo.availability "a" 0.9) outcomes in
+  checkf "attained" 0.95 r.Slo.attained;
+  checkb "met at 0.9" true r.Slo.met;
+  checkf "budget used" 0.5 r.Slo.budget_used;
+  let r99 = Slo.evaluate (Slo.availability "a" 0.99) outcomes in
+  checkb "violated at 0.99" false r99.Slo.met;
+  checkb "budget exhausted" true (r99.Slo.budget_used > 1.0);
+  (* latency quantile over the ok requests *)
+  let lat = Slo.evaluate (Slo.latency "l" ~q:0.5 ~limit_s:0.02) outcomes in
+  checkf "latency attained" 0.01 lat.Slo.attained;
+  checkb "latency met" true lat.Slo.met;
+  let tight = Slo.evaluate (Slo.latency "l" ~q:0.5 ~limit_s:0.005) outcomes in
+  checkb "latency violated below p50" false tight.Slo.met
+
+let test_slo_burn_rate_flips () =
+  let alert =
+    { Slo.fast_window_s = 1.0; slow_window_s = 10.0; burn_threshold = 2.0 }
+  in
+  let m = Slo.monitor ~alert (Slo.availability "avail" 0.9) in
+  (* healthy traffic: no alert *)
+  for i = 0 to 49 do
+    Slo.observe m ~now:(float_of_int i *. 0.1) ~ok:true ()
+  done;
+  checkb "healthy: not firing" false (Slo.firing m);
+  checki "no alerts yet" 0 (Slo.alerts m);
+  (* sustained outage: every request fails -> both windows burn hot *)
+  for i = 50 to 149 do
+    Slo.observe m ~now:(float_of_int i *. 0.1) ~ok:false ()
+  done;
+  checkb "outage: firing" true (Slo.firing m);
+  checki "one rising edge" 1 (Slo.alerts m);
+  let fast, slow = Slo.burn_rates m ~now:14.9 in
+  checkb "fast window burns >= threshold" true (fast >= 2.0);
+  checkb "slow window burns >= threshold" true (slow >= 2.0);
+  (* recovery: the fast window clears first and the alert stops firing *)
+  for i = 150 to 400 do
+    Slo.observe m ~now:(float_of_int i *. 0.1) ~ok:true ()
+  done;
+  checkb "recovered: not firing" false (Slo.firing m);
+  checki "still exactly one alert" 1 (Slo.alerts m);
+  let snap = Slo.snapshot m in
+  checki "observed everything" 401 snap.Slo.total;
+  checki "bad counted" 100 snap.Slo.bad
+
+let test_orchestrator_slo_wiring () =
+  let registry = Metrics.create_registry () in
+  let cluster =
+    Everest_platform.Cluster.create [ Everest_platform.Cluster.power9_node "p9" ]
+  in
+  let orch = Rt.Orchestrator.create ~registry cluster ~host_name:"p9" in
+  let _ =
+    Rt.Orchestrator.deploy orch ~kname:"k"
+      ~impls:
+        [ ("sw", Rt.Orchestrator.Sw { flops = 5e8; bytes = 1e5; threads = 2 }) ]
+      ~knowledge:
+        (Everest_autotune.Knowledge.create "k"
+           [ { Everest_autotune.Knowledge.variant = "sw"; features = [];
+               metrics = [ ("time_s", 0.01) ] } ])
+      ~goal:
+        (Everest_autotune.Goal.make (Everest_autotune.Goal.Minimize "time_s"))
+  in
+  let m = Slo.monitor (Slo.availability "avail" 0.9) in
+  let n = 20 in
+  let log =
+    Rt.Orchestrator.serve orch ~kernel:"k" ~n
+      ~policy:(Rt.Orchestrator.Fixed "sw")
+      ~fail:(fun ~req ~variant:_ ~attempt:_ -> req mod 2 = 0)
+      ~max_attempts:1 ~slos:[ m ] ()
+  in
+  checki "monitor saw every request" n (Slo.observed m);
+  (* completion times come off the simulated clock, monotone over the log *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        a.Rt.Orchestrator.t_done <= b.Rt.Orchestrator.t_done && monotone rest
+    | _ -> true
+  in
+  checkb "t_done monotone" true (monotone log);
+  let snap = Slo.snapshot m in
+  checkb "violated at 50% availability" false snap.Slo.met;
+  (* end-of-run gauges were published, labelled by monitor name *)
+  (match
+     Metrics.find ~registry
+       ~labels:[ ("kernel", "k"); ("slo", "avail") ]
+       "orchestrator_slo_budget_used"
+   with
+  | Some { Metrics.value = Metrics.Gauge g; _ } ->
+      checkb "budget gauge shows exhaustion" true (!g > 1.0)
+  | _ -> Alcotest.fail "slo gauge missing");
+  (* batch evaluation over the request log agrees with the online monitor *)
+  let batch =
+    Slo.evaluate (Slo.availability "avail" 0.9)
+      (Rt.Orchestrator.slo_outcomes log)
+  in
+  checkf "batch = online" snap.Slo.attained batch.Slo.attained
+
+(* ---- report + regress ----------------------------------------------------------- *)
+
+let test_report_roundtrip () =
+  let _, stats = traced_run () in
+  let report = Lazy.force stats.Wf.Executor.report in
+  let js = Json.to_string ~pretty:true (Report.to_json report) in
+  let back = Report.of_json (Json.parse js) in
+  checkb "round-trip preserves the report" true
+    (Json.to_string (Report.to_json back)
+    = Json.to_string (Report.to_json report));
+  (* and therefore the self-diff is empty *)
+  let changes =
+    Regress.diff ~before:(Report.to_json report) ~after:(Report.to_json back) ()
+  in
+  checki "self-diff clean" 0 (List.length changes)
+
+let test_untraced_report_is_partial () =
+  let dag = Wf.Dag.layered ~seed:3 ~layers:3 ~width:2 ~flops:1e9 ~bytes:1e5 () in
+  let registry = Metrics.create_registry () in
+  let _, stats =
+    Wf.Executor.run_on_demonstrator ~policy:"min-load" ~registry dag
+  in
+  checkb "no spans without a tracer" true (stats.Wf.Executor.span_log = []);
+  let report = Lazy.force stats.Wf.Executor.report in
+  checkb "no critical path without a trace" true (report.Report.r_cp = None);
+  checkb "no utilization without a trace" true (report.Report.r_util = None);
+  checki "tasks still counted" (Wf.Dag.size dag) report.Report.r_tasks_done;
+  checkb "quantiles from the registry" true (report.Report.r_quantiles <> []);
+  checkb "completion slo met" true
+    (List.exists
+       (fun (r : Slo.result) -> r.Slo.res_kind = "completion" && r.Slo.met)
+       report.Report.r_slos)
+
+let test_json_number_roundtrip () =
+  (* %.17g printing must re-parse to the identical float, or the CI
+     self-diff job breaks *)
+  let xs = [ 4.3530518896161894; 1e-9; 0.1; 3.0; 1.0 /. 3.0; 1e15; 6.02e23 ] in
+  List.iter
+    (fun x ->
+      match Json.parse (Json.to_string (Json.Num x)) with
+      | Json.Num y ->
+          Alcotest.check (Alcotest.float 0.0)
+            (Printf.sprintf "roundtrip %.17g" x)
+            x y
+      | _ -> Alcotest.fail "expected a number")
+    xs
+
+let test_regress_flags_regressions () =
+  let _, stats = traced_run () in
+  let report = Lazy.force stats.Wf.Executor.report in
+  let before = Report.to_json report in
+  let perturb factor = function
+    | Json.Obj kvs ->
+        Json.Obj
+          (List.map
+             (fun (k, v) ->
+               if k = "makespan_s" then (k, Json.Num (Json.to_num v *. factor))
+               else (k, v))
+             kvs)
+    | j -> j
+  in
+  (* +50% makespan is a regression *)
+  let worse = Regress.diff ~before ~after:(perturb 1.5 before) () in
+  checkb "slower makespan flagged" true
+    (List.exists
+       (fun (c : Regress.change) ->
+         c.Regress.c_path = "makespan_s" && c.Regress.c_regression)
+       worse);
+  (* -50% is a change, not a regression *)
+  let better = Regress.diff ~before ~after:(perturb 0.5 before) () in
+  checkb "faster makespan is a change" true
+    (List.exists
+       (fun (c : Regress.change) -> c.Regress.c_path = "makespan_s")
+       better);
+  checkb "faster makespan not a regression" true
+    (not
+       (List.exists
+          (fun (c : Regress.change) ->
+            c.Regress.c_path = "makespan_s" && c.Regress.c_regression)
+          better));
+  (* within tolerance: silent *)
+  let noise =
+    Regress.diff ~tolerance:0.05 ~before ~after:(perturb 1.01 before) ()
+  in
+  checkb "1% within 5% tolerance" true
+    (not
+       (List.exists
+          (fun (c : Regress.change) -> c.Regress.c_path = "makespan_s")
+          noise));
+  (* an SLO flipping met -> unmet is always a regression *)
+  let flip_met = function
+    | Json.Obj kvs ->
+        Json.Obj
+          (List.map
+             (fun (k, v) ->
+               match (k, v) with
+               | "slos", Json.Arr slos ->
+                   ( k,
+                     Json.Arr
+                       (List.map
+                          (function
+                            | Json.Obj slo ->
+                                Json.Obj
+                                  (List.map
+                                     (fun (sk, sv) ->
+                                       if sk = "met" then (sk, Json.Bool false)
+                                       else (sk, sv))
+                                     slo)
+                            | s -> s)
+                          slos) )
+               | _ -> (k, v))
+             kvs)
+    | j -> j
+  in
+  let slo_broken = Regress.diff ~before ~after:(flip_met before) () in
+  checkb "met->unmet is a regression" true
+    (List.exists
+       (fun (c : Regress.change) ->
+         c.Regress.c_regression
+         && String.length c.Regress.c_path >= 4
+         && String.sub c.Regress.c_path 0 4 = "slos")
+       slo_broken)
+
+let () =
+  Alcotest.run "everest_observe"
+    [
+      ( "span-dag",
+        [ Alcotest.test_case "agrees with naive scans" `Quick
+            test_span_dag_agrees_with_naive ] );
+      ( "critical-path",
+        [ Alcotest.test_case "exact on a chain" `Quick
+            test_critical_path_exact_chain;
+          Alcotest.test_case "wait attribution" `Quick
+            test_critical_path_attributes_wait;
+          QCheck_alcotest.to_alcotest prop_cp_duration_equals_makespan ] );
+      ( "utilization",
+        [ Alcotest.test_case "reconciles with the span log" `Quick
+            test_utilization_reconciles;
+          Alcotest.test_case "idle gaps" `Quick test_utilization_gaps ] );
+      ( "slo",
+        [ Alcotest.test_case "batch evaluation" `Quick test_slo_evaluate;
+          Alcotest.test_case "burn-rate alert flips" `Quick
+            test_slo_burn_rate_flips;
+          Alcotest.test_case "orchestrator wiring" `Quick
+            test_orchestrator_slo_wiring ] );
+      ( "report",
+        [ Alcotest.test_case "json round-trip" `Quick test_report_roundtrip;
+          Alcotest.test_case "untraced is partial" `Quick
+            test_untraced_report_is_partial;
+          Alcotest.test_case "number round-trip" `Quick
+            test_json_number_roundtrip ] );
+      ( "regress",
+        [ Alcotest.test_case "flags regressions" `Quick
+            test_regress_flags_regressions ] );
+    ]

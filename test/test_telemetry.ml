@@ -496,6 +496,190 @@ let test_probe_time_block_observes () =
       checki "one observation" 1 (Metrics.hist_count h)
   | _ -> Alcotest.fail "duration histogram missing"
 
+(* ---- reset semantics ------------------------------------------------------------- *)
+
+let test_reset_restarts_ids () =
+  let t = Trace.create ~clock:(fun () -> 0.0) () in
+  Trace.name_track t 1 "node";
+  let a = Trace.start t "a" in
+  let b = Trace.start t "b" in
+  Trace.finish t a;
+  Trace.finish t b;
+  checki "ids allocated monotonically" 1 (b.Trace.id - a.Trace.id);
+  Trace.reset t;
+  checki "log cleared" 0 (Trace.span_count t);
+  checki "drop counter cleared" 0 (Trace.dropped t);
+  checkb "track names cleared" true (Trace.named_tracks t = []);
+  (* a reset starts a new id generation: ids restart at 0, so indexes built
+     over the new log cannot alias spans from the old one *)
+  let c = Trace.start t "c" in
+  checki "ids restart at 0" 0 c.Trace.id;
+  (* dropped spans still consume ids within a generation *)
+  let t2 = Trace.create ~capacity:1 ~clock:(fun () -> 0.0) () in
+  let x = Trace.start t2 "kept" in
+  let _ = Trace.start t2 "dropped" in
+  let y = Trace.start t2 "also-dropped" in
+  checki "drops consume ids" 2 (y.Trace.id - x.Trace.id);
+  Trace.reset t2;
+  checki "new generation at 0" 0 (Trace.start t2 "fresh").Trace.id
+
+(* ---- chrome trace duplicate keys ------------------------------------------------- *)
+
+(* Every args object must bind each key once: shadowed attribute bindings
+   (Trace.finish prepends) export as their newest value, and a user
+   attribute named "parent" must not collide with the synthetic parent
+   arg. *)
+let test_chrome_trace_dedupes_args () =
+  let t = Trace.create ~clock:(fun () -> 0.0) () in
+  let s =
+    Trace.start t
+      ~attrs:[ ("status", Trace.S "running"); ("parent", Trace.S "user-attr") ]
+      "task"
+  in
+  (* finish-time attrs shadow start-time attrs *)
+  Trace.finish t ~attrs:[ ("status", Trace.S "ok") ] s;
+  checki "raw attrs carry the duplicate" 3 (List.length s.Trace.attrs);
+  let js = Chrome_trace.to_string t in
+  let parsed =
+    match Json.parse js with
+    | v -> v
+    | exception Json.Bad m -> Alcotest.failf "invalid JSON: %s" m
+  in
+  let args =
+    match Json.member "traceEvents" parsed with
+    | Some (Json.Arr evs) -> (
+        match
+          List.find_map
+            (fun e ->
+              if Json.member "ph" e = Some (Json.Str "X") then
+                Json.member "args" e
+              else None)
+            evs
+        with
+        | Some (Json.Obj kvs) -> kvs
+        | _ -> Alcotest.fail "span args missing")
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  let keys = List.map fst args in
+  checki "each key bound once"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  checkb "newest status wins" true
+    (List.assoc_opt "status" args = Some (Json.Str "ok"));
+  (* the synthetic parent wins over the user attribute of the same name *)
+  checkb "parent is the synthetic arg" true
+    (List.assoc_opt "parent" args = Some (Json.Num (-1.0)))
+
+(* ---- clocks ---------------------------------------------------------------------- *)
+
+let test_clock_monotonic () =
+  let sample clock = Array.init 64 (fun _ -> clock ()) in
+  let nondecreasing xs =
+    let ok = ref true in
+    Array.iteri (fun i x -> if i > 0 then ok := !ok && x >= xs.(i - 1)) xs;
+    !ok
+  in
+  checkb "wall clock non-decreasing" true (nondecreasing (sample Clock.wall));
+  checkb "monotonic clock non-decreasing" true
+    (nondecreasing (sample Clock.monotonic));
+  let m = Clock.manual ~start:5.0 () in
+  let clk = Clock.of_manual m in
+  Alcotest.check (Alcotest.float 0.0) "manual start" 5.0 (clk ());
+  Clock.advance m 2.5;
+  Alcotest.check (Alcotest.float 0.0) "manual advance" 7.5 (clk ());
+  let backing = ref 1.0 in
+  let f = Clock.of_fn (fun () -> !backing) in
+  backing := 3.0;
+  Alcotest.check (Alcotest.float 0.0) "of_fn reads live" 3.0 (f ())
+
+let test_probe_under_manual_clock () =
+  (* probe spans sample whatever clock the installed tracer carries, so a
+     simulated clock flows through the global facade untouched *)
+  let m = Clock.manual ~start:100.0 () in
+  let t = Trace.create ~clock:(Clock.of_manual m) () in
+  Probe.with_tracer t (fun () ->
+      Probe.with_span "outer" (fun () ->
+          Clock.advance m 3.0;
+          Probe.with_span "inner" (fun () -> Clock.advance m 1.0)));
+  let outer = Option.get (Trace.find t "outer") in
+  let inner = Option.get (Trace.find t "inner") in
+  Alcotest.check (Alcotest.float 1e-12) "outer start in sim time" 100.0
+    outer.Trace.start_s;
+  Alcotest.check (Alcotest.float 1e-12) "outer spans both advances" 4.0
+    (Trace.duration outer);
+  Alcotest.check (Alcotest.float 1e-12) "inner nested in sim time" 1.0
+    (Trace.duration inner);
+  checkb "inner under outer" true (inner.Trace.parent = Some outer.Trace.id)
+
+(* ---- prometheus golden ----------------------------------------------------------- *)
+
+let test_prometheus_golden () =
+  let r = Metrics.create_registry () in
+  Metrics.inc ~by:7.0
+    (Metrics.counter ~registry:r ~labels:[ ("node", "p9") ]
+       ~help:"tasks finished" "tasks_total");
+  Metrics.set (Metrics.gauge ~registry:r "depth") 3.0;
+  let h = Metrics.histogram ~registry:r "lat_s" in
+  Metrics.observe h 0.004;
+  Metrics.observe h 0.004;
+  Metrics.observe h 2.0;
+  let expected =
+    "# TYPE depth gauge\n\
+     depth 3\n\
+     # TYPE lat_s histogram\n\
+     lat_s_bucket{le=\"0.00501187\"} 2\n\
+     lat_s_bucket{le=\"2.51189\"} 3\n\
+     lat_s_bucket{le=\"+Inf\"} 3\n\
+     lat_s_sum 2.008\n\
+     lat_s_count 3\n\
+     # HELP tasks_total tasks finished\n\
+     # TYPE tasks_total counter\n\
+     tasks_total{node=\"p9\"} 7\n"
+  in
+  checks "prometheus exposition" expected (Metrics.render_prometheus r)
+
+(* ---- quantile properties --------------------------------------------------------- *)
+
+(* Nearest-rank empirical quantile, matching the histogram's "first bucket
+   with cumulative count >= q*n" scan. *)
+let exact_quantile xs q =
+  let arr = Array.of_list xs in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+  arr.(max 0 (min (n - 1) (rank - 1)))
+
+let prop_quantile_monotone_and_tight =
+  (* values >= bucket_min: inside the log-scale range the estimate must sit
+     within one bucket ratio (~26%) of the exact empirical quantile, and be
+     monotone in q *)
+  QCheck.Test.make ~count:50
+    ~name:"histogram quantile monotone in q, within one bucket of exact"
+    QCheck.(list_of_size Gen.(int_range 1 200) (float_range 1e-6 1e3))
+    (fun values ->
+      QCheck.assume (values <> []);
+      let r = Metrics.create_registry () in
+      let h = Metrics.histogram ~registry:r "q" in
+      List.iter (Metrics.observe h) values;
+      let qs = [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+      let ests = List.map (Metrics.quantile h) qs in
+      let monotone =
+        List.for_all2
+          (fun a b -> a <= b +. 1e-12)
+          (List.filteri (fun i _ -> i < List.length ests - 1) ests)
+          (List.tl ests)
+      in
+      let tight =
+        List.for_all
+          (fun q ->
+            let est = Metrics.quantile h q in
+            let exact = exact_quantile values q in
+            est <= exact *. Metrics.bucket_ratio +. 1e-12
+            && est >= exact /. Metrics.bucket_ratio -. 1e-12)
+          qs
+      in
+      monotone && tight)
+
 let () =
   Alcotest.run "everest_telemetry"
     [
@@ -529,5 +713,20 @@ let () =
       ( "probe",
         [ Alcotest.test_case "scoped tracer" `Quick test_probe_scoped_tracer;
           Alcotest.test_case "time_block" `Quick
-            test_probe_time_block_observes ] );
+            test_probe_time_block_observes;
+          Alcotest.test_case "manual clock flows through" `Quick
+            test_probe_under_manual_clock ] );
+      ( "reset",
+        [ Alcotest.test_case "reset restarts ids" `Quick
+            test_reset_restarts_ids ] );
+      ( "chrome-args",
+        [ Alcotest.test_case "args dedupe" `Quick
+            test_chrome_trace_dedupes_args ] );
+      ( "clock",
+        [ Alcotest.test_case "monotonicity" `Quick test_clock_monotonic ] );
+      ( "prometheus",
+        [ Alcotest.test_case "golden exposition" `Quick
+            test_prometheus_golden ] );
+      ( "quantile-props",
+        [ QCheck_alcotest.to_alcotest prop_quantile_monotone_and_tight ] );
     ]
