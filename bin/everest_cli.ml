@@ -158,33 +158,211 @@ let run_cmd =
 
 (* ---- serve ----------------------------------------------------------------- *)
 
+(* Serving-fleet drill: a seeded multi-tenant workload through N
+   orchestrator shards behind admission control, a balancer, batching and
+   worker auto-allocation.  Built-in checks (exit 1 on failure): the run
+   must serve, keep availability and the per-tenant SLOs, shed nothing,
+   and a second same-seed run must produce a byte-identical request log
+   and SLO outcomes.  [--demo] deliberately overloads a starved fleet so
+   the checks fail. *)
 let serve_cmd =
-  let requests =
-    Arg.(value & opt int 100 & info [ "requests" ] ~doc:"Request count.")
+  let module Srv = Everest_serving in
+  let module Res = Everest_resilience in
+  let module Obs = Everest_observe in
+  let shards =
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc:"Shard count.")
   in
-  let goal =
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Workload seed.")
+  in
+  let balancer =
+    Arg.(
+      value & opt string "least-outstanding"
+      & info [ "balancer" ] ~docv:"POLICY"
+          ~doc:"Routing policy: rr, least-outstanding, affinity.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 150.0
+      & info [ "rate" ] ~docv:"RPS" ~doc:"Open-loop tenant arrival rate.")
+  in
+  let horizon =
+    Arg.(
+      value & opt float 0.3
+      & info [ "horizon" ] ~docv:"T" ~doc:"Workload horizon in seconds.")
+  in
+  let fault_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-rate" ] ~docv:"R"
+          ~doc:"Per-shard crash probability over the horizon.")
+  in
+  let format =
     Arg.(
       value
-      & opt (enum [ ("time", `Time); ("energy", `Energy) ]) `Time
-      & info [ "goal" ] ~doc:"Optimization goal.")
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~doc:"Report format: text, json.")
   in
-  let size =
-    Arg.(value & opt int 128 & info [ "size" ] ~docv:"N" ~doc:"Tensor size.")
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON report to FILE.")
   in
-  let run requests goal size =
-    let app = Sdk.compile (demo_graph size) in
-    let goal =
-      match goal with
-      | `Time ->
-          Everest_autotune.Goal.make (Everest_autotune.Goal.Minimize "time_s")
-      | `Energy ->
-          Everest_autotune.Goal.make (Everest_autotune.Goal.Minimize "energy_j")
+  let demo =
+    Arg.(
+      value & flag
+      & info [ "demo" ]
+          ~doc:
+            "Overload a starved single-worker fleet so requests are shed \
+             and the latency SLO burns (exits 1).")
+  in
+  let run shards seed balancer rate horizon fault_rate format out demo =
+    let balancer =
+      match Srv.Balancer.policy_of_string balancer with
+      | Some p -> p
+      | None ->
+          Format.eprintf "error: unknown balancer policy %S@." balancer;
+          exit 2
     in
-    let served = Sdk.serve ~n:requests ~goal app ~kernel:"mm" in
-    Format.printf "%a@." Sdk.pp_served served
+    let tenants =
+      [ Srv.Workload.open_tenant ~name:"acme" ~kernel:"mm"
+          ~rate_rps:(if demo then 4000.0 else rate)
+          ~diurnal_amplitude:0.3 ~diurnal_period_s:1.0
+          ~burst:
+            { Srv.Workload.burst_factor = 3.0; mean_calm_s = 0.1;
+              mean_burst_s = 0.05 }
+          ~features:(fun seq ->
+            [ ("size", float_of_int (1024 + (64 * (seq mod 4)))) ])
+          ();
+        Srv.Workload.closed_tenant ~name:"globex" ~kernel:"mm" ~users:4
+          ~think_s:0.05 () ]
+    in
+    let base = Srv.Fabric.default_config ~n_shards:shards in
+    let faults =
+      if fault_rate <= 0.0 then Res.Faults.none
+      else
+        Res.Faults.random_plan ~seed ~fault_rate
+          ~mean_downtime:(0.25 *. horizon)
+          ~nodes:(List.init shards (Printf.sprintf "shard%d"))
+          ~horizon ()
+    in
+    let config =
+      if demo then
+        (* starved on purpose: one worker, no batching headroom, a tiny
+           queue bound and a tight latency SLO *)
+        { base with
+          Srv.Fabric.seed; balancer; faults; max_queue = 16;
+          autoscale = Srv.Autoscale.fixed 1;
+          batcher =
+            { Srv.Batcher.max_batch = 1; max_delay_s = 0.0;
+              marginal_cost = 1.0 };
+          tenant_slos =
+            [ Obs.Slo.availability "availability" 0.99;
+              Obs.Slo.latency "p99-latency" ~q:0.99 ~limit_s:0.002 ] }
+      else { base with Srv.Fabric.seed; balancer; faults }
+    in
+    let once () =
+      Srv.Fabric.run ~registry:(Tel.Metrics.create_registry ()) config
+        ~deploy:(Srv.Fabric.demo_deploy ()) ~tenants ~horizon
+    in
+    let r = once () in
+    let again = once () in
+    let identical =
+      String.equal (Srv.Fabric.render_log r) (Srv.Fabric.render_log again)
+      && String.equal (Srv.Fabric.render_slos r)
+           (Srv.Fabric.render_slos again)
+    in
+    let served = Srv.Fabric.served_ok r in
+    let shed = Srv.Fabric.shed r in
+    let availability = Srv.Fabric.availability r in
+    let slos_met =
+      List.for_all
+        (fun tr ->
+          List.for_all
+            (fun (res : Obs.Slo.result) -> res.Obs.Slo.met)
+            tr.Srv.Fabric.tr_slos)
+        r.Srv.Fabric.f_tenants
+    in
+    let checks =
+      [ ("served", served > 0);
+        ("availability", availability >= 0.99);
+        ("slos_met", slos_met);
+        ("nothing_shed", shed = 0);
+        ("deterministic", identical) ]
+    in
+    let all_ok = List.for_all snd checks in
+    let json =
+      Obs.Json.Obj
+        [ ("shards", Obs.Json.Num (float_of_int shards));
+          ("seed", Obs.Json.Num (float_of_int seed));
+          ("balancer",
+           Obs.Json.Str (Srv.Balancer.policy_name config.Srv.Fabric.balancer));
+          ("horizon_s", Obs.Json.Num horizon);
+          ("requests", Obs.Json.Num (float_of_int (List.length r.Srv.Fabric.f_log)));
+          ("served", Obs.Json.Num (float_of_int served));
+          ("failed", Obs.Json.Num (float_of_int (Srv.Fabric.failed r)));
+          ("shed", Obs.Json.Num (float_of_int shed));
+          ("availability", Obs.Json.Num availability);
+          ("throughput_rps", Obs.Json.Num (Srv.Fabric.throughput_rps r));
+          ("p99_latency_s", Obs.Json.Num (Srv.Fabric.latency_quantile r 0.99));
+          ("batched_requests",
+           Obs.Json.Num (float_of_int (Srv.Fabric.batched_requests r)));
+          ("workers_spawned", Obs.Json.Num (float_of_int r.Srv.Fabric.f_spawned));
+          ("workers_retired", Obs.Json.Num (float_of_int r.Srv.Fabric.f_retired));
+          ("reroutes", Obs.Json.Num (float_of_int r.Srv.Fabric.f_reroutes));
+          ("tenants",
+           Obs.Json.Arr
+             (List.map
+                (fun tr ->
+                  Obs.Json.Obj
+                    [ ("tenant", Obs.Json.Str tr.Srv.Fabric.tr_tenant);
+                      ("requests",
+                       Obs.Json.Num (float_of_int tr.Srv.Fabric.tr_requests));
+                      ("served",
+                       Obs.Json.Num (float_of_int tr.Srv.Fabric.tr_served));
+                      ("shed",
+                       Obs.Json.Num
+                         (float_of_int
+                            (List.fold_left
+                               (fun acc (_, n) -> acc + n)
+                               0 tr.Srv.Fabric.tr_shed)));
+                      ("burn_alerts",
+                       Obs.Json.Num (float_of_int tr.Srv.Fabric.tr_alerts));
+                      ("slos",
+                       Obs.Json.Arr
+                         (List.map Obs.Slo.result_to_json
+                            tr.Srv.Fabric.tr_slos)) ])
+                r.Srv.Fabric.f_tenants));
+          ("checks",
+           Obs.Json.Obj
+             (List.map (fun (n, ok) -> (n, Obs.Json.Bool ok)) checks
+             @ [ ("passed", Obs.Json.Bool all_ok) ])) ]
+    in
+    (match out with
+    | None -> ()
+    | Some f ->
+        let oc = open_out f in
+        output_string oc (Obs.Json.to_string ~pretty:true json);
+        output_string oc "\n";
+        close_out oc);
+    (match format with
+    | `Json -> print_string (Obs.Json.to_string ~pretty:true json ^ "\n")
+    | `Text ->
+        print_string (Srv.Fabric.render_summary r);
+        List.iter
+          (fun (n, ok) ->
+            Printf.printf "check %-14s %s\n" n (if ok then "ok" else "FAILED"))
+          checks;
+        print_string
+          (if all_ok then "serve drill passed\n" else "serve drill FAILED\n"));
+    if not all_ok then exit 1
   in
-  Cmd.v (Cmd.info "serve" ~doc:"Serve the hot kernel adaptively.")
-    Term.(const run $ requests $ goal $ size)
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serving-fleet drill: sharded multi-tenant serving with checks.")
+    Term.(
+      const run $ shards $ seed $ balancer $ rate $ horizon $ fault_rate
+      $ format $ out $ demo)
 
 (* ---- hls ------------------------------------------------------------------- *)
 

@@ -1,0 +1,146 @@
+(** The serving fabric: N orchestrator shards behind admission control, a
+    balancer, per-shard batchers and auto-allocated worker pools, driven
+    by a seeded workload on one fabric-level simulated clock.
+
+    The fabric owns a {!Everest_platform.Desim} clock for arrivals,
+    queueing and concurrency; each shard's orchestrator (with its private
+    cluster clock) acts as the service-time oracle — a batch executes
+    there once and the measured latency, scaled by the batcher's
+    amortization model, becomes the batch's service time on the fabric
+    clock.  Every decision — workload sample paths, admission, routing,
+    batching, scaling, fault verdicts — derives from the config seed and
+    plan, so same-seed runs produce byte-identical request logs
+    ({!render_log}) and SLO outcomes.
+
+    Resilience wiring: [faults] is a fault plan over shard names
+    ([shard0], [shard1], …) evaluated on the fabric clock.  Requests are
+    never routed to a dead or breaker-draining shard; queued work on such
+    a shard drains to its siblings at the next control tick, and work
+    in flight when a shard dies fails and is re-routed (bounded by
+    [max_reroutes]). *)
+
+module Slo = Everest_observe.Slo
+module Orch = Everest_runtime.Orchestrator
+
+type config = {
+  n_shards : int;
+  seed : int;  (** Workload seed (fault verdicts come from [faults]). *)
+  balancer : Balancer.policy;
+  admission : Admission.config;
+  batcher : Batcher.config;
+  autoscale : Autoscale.config;
+  faults : Everest_resilience.Faults.t;  (** Over shard names, fabric time. *)
+  max_reroutes : int;  (** Cross-shard retries after a failed execution. *)
+  max_queue : int;  (** Per-shard backpressure bound (queued requests). *)
+  tenant_slos : Slo.spec list;
+      (** Objective template instantiated per tenant (names prefixed with
+          the tenant). *)
+  alert : Slo.alert_config;
+  orch_policy : Orch.policy;  (** Variant selection inside each shard. *)
+  orch_max_attempts : int;  (** In-shard retry budget per execution. *)
+}
+
+val default_config : n_shards:int -> config
+
+type outcome = Served | Rejected of Admission.reason | Failed of string
+
+type served_request = {
+  sr_id : int;
+  sr_tenant : string;
+  sr_kernel : string;
+  sr_shard : int;  (** Shard that resolved it; -1 when rejected. *)
+  sr_arrival_s : float;
+  sr_done_s : float;
+  sr_latency_s : float;  (** done - arrival; 0 for rejections. *)
+  sr_outcome : outcome;
+  sr_batch : int;  (** Size of the batch that served it (0 if none). *)
+  sr_attempts : int;  (** Times routed (1 + re-routes). *)
+  sr_variant : string;  (** Variant that served it; "-" otherwise. *)
+  sr_degraded : bool;  (** Orchestrator degraded the pick to software. *)
+}
+
+type tenant_report = {
+  tr_tenant : string;
+  tr_requests : int;
+  tr_served : int;
+  tr_failed : int;
+  tr_shed : (Admission.reason * int) list;
+  tr_slos : Slo.result list;  (** Batch verdicts over the tenant's log. *)
+  tr_alerts : int;  (** Burn-rate alert rising edges during the run. *)
+}
+
+type shard_report = {
+  sh_id : int;
+  sh_served : int;
+  sh_failed : int;
+  sh_batches : int;
+  sh_batched_requests : int;
+  sh_workers : int;  (** Final worker count. *)
+  sh_peak_workers : int;
+}
+
+type result = {
+  f_config : config;
+  f_horizon_s : float;
+  f_makespan_s : float;  (** Last resolution time. *)
+  f_log : served_request list;  (** Sorted by request id. *)
+  f_tenants : tenant_report list;
+  f_shards : shard_report list;
+  f_spawned : int;
+  f_retired : int;
+  f_reroutes : int;
+}
+
+(** Run the workload through the fleet.  [deploy] installs kernels on
+    every shard's orchestrator; [registry] receives the [serving_*]
+    fabric metrics (default {!Everest_telemetry.Metrics.default}). *)
+val run :
+  ?registry:Everest_telemetry.Metrics.registry ->
+  config ->
+  deploy:(Orch.t -> unit) ->
+  tenants:Workload.tenant list ->
+  horizon:float ->
+  result
+
+(** {2 Summary accessors} *)
+
+val served_ok : result -> int
+val failed : result -> int
+val shed : result -> int
+
+(** Served / (served + failed): success over admitted traffic. *)
+val availability : result -> float
+
+(** Served requests per second of horizon. *)
+val throughput_rps : result -> float
+
+(** Latencies of served requests, in completion order. *)
+val latencies : result -> float list
+
+(** Exact empirical quantile (nearest rank) of served latencies. *)
+val latency_quantile : result -> float -> float
+
+(** Requests that shared a batch with at least one other request. *)
+val batched_requests : result -> int
+
+(** {2 Deterministic rendering (byte-identity checks)} *)
+
+(** One line per request, by id, with fixed-precision times — two
+    same-seed runs must render identically. *)
+val render_log : result -> string
+
+(** Per-tenant SLO verdicts in a deterministic textual form. *)
+val render_slos : result -> string
+
+(** Human-readable run summary (CLI/bench). *)
+val render_summary : result -> string
+
+(** A demo deployment for drills and tests: each kernel gets a fast
+    hardware variant and a software fallback with seeded tuner
+    knowledge, mirroring the chaos/observe drill kernel. *)
+val demo_deploy :
+  ?kernels:string list ->
+  ?breaker:Everest_resilience.Breaker.config ->
+  unit ->
+  Orch.t ->
+  unit

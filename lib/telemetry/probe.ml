@@ -12,6 +12,19 @@ let clear_tracer () = tracer := Trace.noop
 let current_tracer () = !tracer
 let enabled () = not (Trace.is_noop !tracer)
 
+(* Time source for [time_block]; swappable so tests (and simulated runs)
+   can measure against a manual clock instead of the wall. *)
+let clock = ref Clock.wall
+
+let set_clock c = clock := c
+let current_clock () = !clock
+
+(* Install [c] for the duration of [f]. *)
+let with_clock c f =
+  let prev = !clock in
+  clock := c;
+  Fun.protect ~finally:(fun () -> clock := prev) f
+
 (* Install [t] for the duration of [f]. *)
 let with_tracer t f =
   let prev = !tracer in
@@ -29,11 +42,12 @@ let with_span ?attrs name f =
    entry and the aggregate timing distribution. *)
 let time_block ?registry ?labels ?attrs name f =
   let t = !tracer in
-  let t0 = Unix.gettimeofday () in
+  let now = !clock in
+  let t0 = now () in
   let record () =
     Metrics.observe
       (Metrics.histogram ?registry ?labels (name ^ "_s"))
-      (Unix.gettimeofday () -. t0)
+      (now () -. t0)
   in
   if Trace.is_noop t then
     Fun.protect ~finally:record (fun () -> f ())

@@ -496,6 +496,22 @@ let test_probe_time_block_observes () =
       checki "one observation" 1 (Metrics.hist_count h)
   | _ -> Alcotest.fail "duration histogram missing"
 
+let test_probe_time_block_uses_installed_clock () =
+  (* time_block durations come from Probe's clock, not the wall — a
+     manual clock makes the measured duration exact *)
+  let registry = Metrics.create_registry () in
+  let m = Clock.manual ~start:50.0 () in
+  Probe.with_clock (Clock.of_manual m) (fun () ->
+      Probe.time_block ~registry "sim_stage" (fun () -> Clock.advance m 2.5));
+  (match Metrics.find ~registry "sim_stage_s" with
+  | Some { Metrics.value = Metrics.Histogram h; _ } ->
+      checki "one observation" 1 (Metrics.hist_count h);
+      Alcotest.check (Alcotest.float 1e-12) "exact simulated duration" 2.5
+        (Metrics.hist_sum h)
+  | _ -> Alcotest.fail "duration histogram missing");
+  (* the override is scoped: outside with_clock the wall is back *)
+  checkb "restored" true (Probe.current_clock () == Clock.wall)
+
 (* ---- reset semantics ------------------------------------------------------------- *)
 
 let test_reset_restarts_ids () =
@@ -714,6 +730,8 @@ let () =
         [ Alcotest.test_case "scoped tracer" `Quick test_probe_scoped_tracer;
           Alcotest.test_case "time_block" `Quick
             test_probe_time_block_observes;
+          Alcotest.test_case "time_block under a manual clock" `Quick
+            test_probe_time_block_uses_installed_clock;
           Alcotest.test_case "manual clock flows through" `Quick
             test_probe_under_manual_clock ] );
       ( "reset",
