@@ -1,8 +1,12 @@
 (* Benchmark/experiment driver.
 
-     dune exec bench/main.exe            # every experiment E1-E15 + micro
+     dune exec bench/main.exe            # every experiment E1-E16 + micro
      dune exec bench/main.exe -- e5      # one experiment
      dune exec bench/main.exe -- micro   # Bechamel micro-benchmarks only
+
+   E17 (Estee-style scheduler scale) lives in its own driver,
+   bench/estee.exe (--quick for the CI-sized sweep), because its full
+   sweep plans million-task DAGs and should not slow `all` down.
 
    Each experiment regenerates one figure/claim of the paper; the mapping is
    documented in DESIGN.md section 3 and the measured results in
@@ -19,6 +23,8 @@ let () =
           | Some f -> f ()
           | None ->
               Printf.eprintf
-                "unknown experiment %S (expected e1..e15, micro, all)\n" n;
+                "unknown experiment %S (expected e1..e16, micro, all; e17 \
+                 lives in bench/estee.exe)\n"
+                n;
               exit 1)
         names

@@ -28,7 +28,11 @@
          deliberately violate the availability SLO so the burn-rate alert
          fires (exercises the failure path; exits 1)
      everest_cli observe --diff A.json B.json
-         diff two saved reports; exit 1 on regressions beyond tolerance  *)
+         diff two saved reports; exit 1 on regressions beyond tolerance
+     everest_cli estee [--tasks N] [--family F] [--policy P] [--budget-s T]
+         Estee-style scheduler scale smoke: plan (and optionally execute)
+         one generated DAG family instance; exit 1 if the wall clock
+         exceeds the budget — the CI guard against O(n^2) regressions  *)
 
 open Cmdliner
 module Sdk = Everest.Sdk
@@ -973,6 +977,88 @@ let lint_cmd =
        ~doc:"Run the static-analysis rules (EV0xx) over IR modules.")
     Term.(const run $ files $ demo $ examples $ format)
 
+(* ---- estee ----------------------------------------------------------------- *)
+
+(* Scheduler scale smoke for CI: plan one generated family instance and
+   fail when the wall clock blows the budget.  A 10^4-task layered plan
+   takes milliseconds on the indexed HEFT and minutes on an O(n^2) one, so
+   a generous budget still catches quadratic regressions without making
+   the job flaky on slow runners (see bench/estee.ml for the full E17
+   sweep). *)
+let estee_cmd =
+  let tasks =
+    Arg.(
+      value & opt int 10_000
+      & info [ "tasks" ] ~docv:"N" ~doc:"Approximate DAG size.")
+  in
+  let family =
+    Arg.(
+      value & opt string "layered"
+      & info [ "family" ] ~docv:"F"
+          ~doc:"DAG family: layered, fork-join, ensemble.")
+  in
+  let policy =
+    Arg.(
+      value & opt string "heft"
+      & info [ "policy" ] ~docv:"P"
+          ~doc:
+            "Scheduling policy (heft, heft-locality, min-load, round-robin, \
+             heft-reference).")
+  in
+  let seed =
+    Arg.(value & opt int 17 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed.")
+  in
+  let budget =
+    Arg.(
+      value & opt float 0.0
+      & info [ "budget-s" ] ~docv:"T"
+          ~doc:
+            "Exit 1 if planning (+ execution) wall time exceeds T seconds; 0 \
+             disables the check.")
+  in
+  let execute =
+    Arg.(
+      value & flag
+      & info [ "execute" ]
+          ~doc:"Also simulate execution on the demonstrator cluster.")
+  in
+  let run tasks family policy seed budget execute =
+    let module Sb = Sdk.Workflow.Scalebench in
+    match Sb.family_of_string family with
+    | None ->
+        Printf.eprintf "estee: unknown family %S\n" family;
+        exit 2
+    | Some fam -> (
+        match Sb.run_policy ~seed ~execute fam ~tasks ~policy with
+        | exception Invalid_argument msg ->
+            Printf.eprintf "estee: %s\n" msg;
+            exit 2
+        | s ->
+            let total =
+              s.Sb.sb_plan_wall_s
+              +. if s.Sb.sb_exec_wall_s > 0.0 then s.Sb.sb_exec_wall_s else 0.0
+            in
+            Printf.printf
+              "family=%s tasks=%d policy=%s plan=%.3fs (%.0f tasks/s)%s\n"
+              s.Sb.sb_family s.Sb.sb_tasks s.Sb.sb_policy s.Sb.sb_plan_wall_s
+              s.Sb.sb_tasks_per_s
+              (if s.Sb.sb_exec_wall_s < 0.0 then ""
+               else
+                 Printf.sprintf " exec=%.3fs makespan=%.1fs"
+                   s.Sb.sb_exec_wall_s s.Sb.sb_makespan_s);
+            if budget > 0.0 && total > budget then begin
+              Printf.eprintf
+                "estee: wall %.3fs exceeded budget %.3fs — scheduling \
+                 throughput regressed\n"
+                total budget;
+              exit 1
+            end)
+  in
+  Cmd.v
+    (Cmd.info "estee"
+       ~doc:"Scheduler scale smoke: plan a DAG family against a wall budget.")
+    Term.(const run $ tasks $ family $ policy $ seed $ budget $ execute)
+
 (* ---- observe --------------------------------------------------------------- *)
 
 (* Read-side analytics drill: run the stress DAG fully traced under a
@@ -1208,4 +1294,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "everest_cli" ~doc)
           [ compile_cmd; run_cmd; serve_cmd; hls_cmd; telemetry_cmd; chaos_cmd;
-            lint_cmd; observe_cmd ]))
+            lint_cmd; observe_cmd; estee_cmd ]))

@@ -55,6 +55,32 @@ let later (a : activity) (b : activity) =
   then b
   else a
 
+(* Turn the backward chain (already reversed into execution order) into the
+   attributed path record; shared by the list and dense entry points. *)
+let assemble ~makespan_s ~total_work_s (anchor : activity) chain =
+  let head = List.hd chain in
+  let steps =
+    List.rev
+      (fst
+         (List.fold_left
+            (fun (acc, prev_end) a ->
+              let seg = a.act_finish -. prev_end in
+              let self = Float.min (Float.max 0.0 a.act_work_s) seg in
+              ( { st_name = a.act_name; st_node = a.act_node;
+                  st_start_s = a.act_start; st_finish_s = a.act_finish;
+                  st_self_s = self; st_wait_s = seg -. self }
+                :: acc,
+                a.act_finish ))
+            ([], head.act_start) chain))
+  in
+  let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 steps in
+  { steps;
+    duration_s = anchor.act_finish -. head.act_start;
+    work_s = sum (fun s -> s.st_self_s);
+    wait_s = sum (fun s -> s.st_wait_s);
+    makespan_s;
+    total_work_s }
+
 let extract (acts : activity list) : t option =
   match acts with
   | [] -> None
@@ -68,32 +94,76 @@ let extract (acts : activity list) : t option =
         | [] -> a :: path
         | p :: ps -> walk (List.fold_left later p ps) (a :: path)
       in
-      let chain = walk anchor [] in
-      let head = List.hd chain in
-      let steps =
-        List.rev
-          (fst
-             (List.fold_left
-                (fun (acc, prev_end) a ->
-                  let seg = a.act_finish -. prev_end in
-                  let self = Float.min (Float.max 0.0 a.act_work_s) seg in
-                  ( { st_name = a.act_name; st_node = a.act_node;
-                      st_start_s = a.act_start; st_finish_s = a.act_finish;
-                      st_self_s = self; st_wait_s = seg -. self }
-                    :: acc,
-                    a.act_finish ))
-                ([], head.act_start) chain))
+      let makespan_s =
+        List.fold_left (fun acc a -> Float.max acc a.act_finish) 0.0 acts
       in
-      let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 steps in
-      Some
-        { steps;
-          duration_s = anchor.act_finish -. head.act_start;
-          work_s = sum (fun s -> s.st_self_s);
-          wait_s = sum (fun s -> s.st_wait_s);
-          makespan_s =
-            List.fold_left (fun acc a -> Float.max acc a.act_finish) 0.0 acts;
-          total_work_s =
-            List.fold_left (fun acc a -> acc +. a.act_work_s) 0.0 acts }
+      let total_work_s =
+        List.fold_left (fun acc a -> acc +. a.act_work_s) 0.0 acts
+      in
+      Some (assemble ~makespan_s ~total_work_s anchor (walk anchor []))
+
+(* Flat variant for id-indexed activity sets (the executor report keys
+   activities by task id, in [0, n)): timing lives in unboxed float arrays,
+   slot [i] absent when [finish.(i) < 0], and the [deps]/[name]/[node]
+   callbacks are consulted only for ids actually on the walked chain.  A
+   million-task join therefore allocates a few hundred records instead of a
+   million — which is what keeps report forcing inside its <5%-of-run
+   budget (E17).  Anchor choice and gating-predecessor tie-breaks replicate
+   [extract]: latest finish, ties to the smaller id ([later] is a total
+   order, so traversal order doesn't matter). *)
+let extract_flat ~(start : float array) ~(finish : float array)
+    ~(work : float array) ~(deps : int -> int list) ~(name : int -> string)
+    ~(node : int -> string) : t option =
+  let n = Array.length finish in
+  let anchor = ref (-1) in
+  let makespan = ref 0.0 in
+  let total_work = ref 0.0 in
+  for i = 0 to n - 1 do
+    let f = finish.(i) in
+    if f >= 0.0 then begin
+      if f > !makespan then makespan := f;
+      total_work := !total_work +. work.(i);
+      (* ascending scan: a strictly later finish replaces, a tie keeps the
+         smaller (= earlier) id — exactly [later] *)
+      if !anchor < 0 || f > finish.(!anchor) then anchor := i
+    end
+  done;
+  if !anchor < 0 then None
+  else begin
+    let rec walk i chain =
+      let best =
+        List.fold_left
+          (fun best d ->
+            if d < 0 || d >= n || finish.(d) < 0.0 then best
+            else
+              match best with
+              | None -> Some d
+              | Some b ->
+                  if
+                    finish.(d) > finish.(b)
+                    || (finish.(d) = finish.(b) && d < b)
+                  then Some d
+                  else best)
+          None (deps i)
+      in
+      match best with
+      | None -> i :: chain
+      | Some p -> walk p (i :: chain)
+    in
+    let ids = walk !anchor [] in
+    let acts =
+      List.map
+        (fun i ->
+          { act_id = i; act_name = name i; act_node = node i;
+            act_start = start.(i); act_finish = finish.(i);
+            act_work_s = work.(i); act_deps = deps i })
+        ids
+    in
+    let anchor_act = List.fold_left (fun _ a -> a) (List.hd acts) acts in
+    Some
+      (assemble ~makespan_s:!makespan ~total_work_s:!total_work anchor_act
+         acts)
+  end
 
 (* Path time attributed per node, (self, wait) pairs, largest share first. *)
 let by_node t =

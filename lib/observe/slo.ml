@@ -99,6 +99,27 @@ let evaluate spec (outcomes : outcome list) : result =
 
 let evaluate_all specs outcomes = List.map (fun s -> evaluate s outcomes) specs
 
+(* Counting objectives need only the tallies, not the outcome log — the
+   executor's report hook evaluates completion over 10⁶ task outcomes
+   without materializing a 10⁶-element list.  Latency objectives need the
+   individual samples; feed those through [evaluate]. *)
+let evaluate_counts spec ~total ~bad : result =
+  let bad_frac =
+    if total = 0 then 0.0 else float_of_int bad /. float_of_int total
+  in
+  let budget = error_budget spec.objective in
+  let kind, attained, target, met =
+    match spec.objective with
+    | Availability { target } ->
+        ("availability", 1.0 -. bad_frac, target, 1.0 -. bad_frac >= target)
+    | Completion_ratio { target } ->
+        ("completion", 1.0 -. bad_frac, target, 1.0 -. bad_frac >= target)
+    | Latency_quantile _ ->
+        invalid_arg "Slo.evaluate_counts: latency objectives need samples"
+  in
+  { res_name = spec.slo_name; res_kind = kind; attained; target; met;
+    budget; budget_used = bad_frac /. budget; total; bad }
+
 (* ---- online burn-rate monitor --------------------------------------------------- *)
 
 type alert_config = {

@@ -49,6 +49,11 @@ val evaluate : spec -> outcome list -> result
 
 val evaluate_all : spec list -> outcome list -> result list
 
+(** Counting objectives (availability, completion) from tallies alone — no
+    outcome list to materialize.  Raises [Invalid_argument] for latency
+    objectives, which need the individual samples. *)
+val evaluate_counts : spec -> total:int -> bad:int -> result
+
 (** {2 Online burn-rate monitoring} *)
 
 type alert_config = {

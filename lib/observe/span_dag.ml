@@ -1,19 +1,18 @@
 (* Queryable index over a span log.
 
-   [Trace] deliberately keeps its sink a plain list — recording must stay
-   allocation-light — which makes its [children]/[find] helpers O(n) scans
-   and any parent/child walk O(n²).  The read side builds this index once
-   and then answers id lookups, child lists, name lookups and per-track
+   [Trace] keeps its sink a flat pooled array — recording must stay
+   allocation-light — but its [children]/[find] helpers are O(n) scans and
+   any parent/child walk O(n²).  The read side builds this index once and
+   then answers id lookups, child lists, name lookups and per-track
    timelines in O(1)/O(result).  All derived span lists are in start order
    (ties broken by span id, which [Trace] allocates monotonically).
 
    Two costs matter because the executor's lazy report is benchmarked
-   against a <5%-of-run budget (E15): the log usually arrives already
-   ordered (ids come off a monotone clock, and [Trace.spans_rev] hands it
-   back newest-first), so the constructor detects sorted/reversed input and
-   skips the O(n log n) sort; and each secondary index is built on first
-   use, so a consumer that only walks tracks never pays for the name or
-   parent tables. *)
+   against a <5%-of-run budget (E15/E17): the log usually arrives already
+   ordered ([Trace.to_array] is start-ordered off a monotone clock), so the
+   constructor detects sorted/reversed input and skips the O(n log n) sort;
+   and each secondary index is built on first use, so a consumer that only
+   walks tracks never pays for the name or parent tables. *)
 
 module Trace = Everest_telemetry.Trace
 
@@ -32,8 +31,8 @@ let start_order (a : Trace.span) (b : Trace.span) =
   else if a.Trace.start_s > b.Trace.start_s then 1
   else compare a.Trace.id b.Trace.id
 
-let of_spans spans =
-  let arr = Array.of_list spans in
+(* Takes ownership of [arr]. *)
+let of_array arr =
   let n = Array.length arr in
   let ascending = ref true and descending = ref true in
   for i = 0 to n - 2 do
@@ -56,7 +55,11 @@ let of_spans spans =
   { arr; by_id = None; child_tbl = None; name_tbl = None; root_spans = None;
     track_tbl = None; track_ids = None }
 
-let of_tracer t = of_spans (Trace.spans_rev t)
+let of_spans spans = of_array (Array.of_list spans)
+
+(* [Trace.to_array] already hands the log back in start order, so this is
+   one array copy and a linear sortedness check — no per-span consing. *)
+let of_tracer t = of_array (Trace.to_array t)
 
 let size t = Array.length t.arr
 

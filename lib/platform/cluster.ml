@@ -8,16 +8,27 @@
 type t = {
   sim : Desim.t;
   nodes : Node.t list;
+  node_tbl : (string, Node.t) Hashtbl.t;
   mutable links : (string * string * Spec.link) list;
   mutable bytes_moved : int;
   mutable transfers : int;
 }
 
 let create ?(links = []) nodes =
-  { sim = Desim.create (); nodes; links; bytes_moved = 0; transfers = 0 }
+  (* name -> node index built once: [find_node] sits on the executor's
+     per-task hot path, where the historical list scan was O(|nodes|) per
+     lookup.  First binding wins, matching the old [List.find_opt]. *)
+  let node_tbl = Hashtbl.create (max 16 (List.length nodes)) in
+  List.iter
+    (fun (n : Node.t) ->
+      if not (Hashtbl.mem node_tbl n.Node.name) then
+        Hashtbl.add node_tbl n.Node.name n)
+    nodes;
+  { sim = Desim.create (); nodes; node_tbl; links; bytes_moved = 0;
+    transfers = 0 }
 
 let find_node c name =
-  match List.find_opt (fun (n : Node.t) -> String.equal n.Node.name name) c.nodes with
+  match Hashtbl.find_opt c.node_tbl name with
   | Some n -> n
   | None -> invalid_arg (Printf.sprintf "cluster: unknown node %S" name)
 

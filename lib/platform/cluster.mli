@@ -5,6 +5,8 @@
 type t = {
   sim : Desim.t;
   nodes : Node.t list;
+  node_tbl : (string, Node.t) Hashtbl.t;
+      (** Name index built at [create]; use [find_node]. *)
   mutable links : (string * string * Spec.link) list;
   mutable bytes_moved : int;
   mutable transfers : int;
@@ -12,7 +14,7 @@ type t = {
 
 val create : ?links:(string * string * Spec.link) list -> Node.t list -> t
 
-(** @raise Invalid_argument on unknown names. *)
+(** O(1) name lookup. @raise Invalid_argument on unknown names. *)
 val find_node : t -> string -> Node.t
 
 val add_link : t -> string -> string -> Spec.link -> unit

@@ -16,6 +16,23 @@ val now : t -> float
     @raise Invalid_argument on negative delays. *)
 val schedule : t -> float -> (unit -> unit) -> unit
 
+(** A scheduled event that can still be revoked.  Handles exist so rescue
+    timers (timeout/speculation watchdogs armed per task) can be cancelled
+    when the task completes first, instead of sitting in the heap as dead
+    closures until their fire time — at 10⁶ tasks that retention is O(n). *)
+type handle
+
+(** Like [schedule], returning a cancellation handle. *)
+val schedule_cancellable : t -> float -> (unit -> unit) -> handle
+
+(** Revoke the event: its closure is released immediately, the pop loop
+    skips it without running it or advancing the clock, and when cancelled
+    events outnumber live ones the heap is compacted in place.  No-op once
+    the event has fired or was already cancelled. *)
+val cancel : t -> handle -> unit
+
+val cancelled : handle -> bool
+
 (** [at sim time f] runs [f] at the absolute [time].
     @raise Invalid_argument for times in the past. *)
 val at : t -> float -> (unit -> unit) -> unit
@@ -26,6 +43,9 @@ val run : ?until:float -> t -> unit
 
 (** Number of events executed so far. *)
 val executed : t -> int
+
+(** Live (non-cancelled) events still queued. *)
+val pending : t -> int
 
 (** Snapshot engine counters (events executed/pending, simulated now) into
     telemetry gauges. *)

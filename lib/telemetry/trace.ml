@@ -26,7 +26,7 @@ type span = {
 type t = {
   clock : Clock.t;
   capacity : int;
-  mutable spans : span list;  (* completed+open, newest first *)
+  mutable pool : span array;  (* slots [0, n_spans) hold spans in start order *)
   mutable n_spans : int;
   mutable dropped : int;
   mutable next_id : int;
@@ -34,8 +34,13 @@ type t = {
   mutable track_names : (int * string) list;
 }
 
+(* Filler for unused pool slots; never handed out. *)
+let null_span =
+  { id = -1; parent = None; name = ""; track = 0; start_s = 0.0; end_s = 0.0;
+    attrs = [] }
+
 let create ?(capacity = 65536) ?(clock = Clock.wall) () =
-  { clock; capacity; spans = []; n_spans = 0; dropped = 0; next_id = 0;
+  { clock; capacity; pool = [||]; n_spans = 0; dropped = 0; next_id = 0;
     stack = []; track_names = [] }
 
 (* The shared disabled tracer: records nothing, costs (almost) nothing.
@@ -63,7 +68,15 @@ let start t ?parent ?(track = 0) ?(attrs = []) name =
   in
   t.next_id <- t.next_id + 1;
   if t.n_spans < t.capacity then begin
-    t.spans <- s :: t.spans;
+    (* pooled sink: amortized O(1) append, no cons cell per span — at 10⁶
+       spans the historical list cost dominated report forcing *)
+    if t.n_spans = Array.length t.pool then begin
+      let cap = min t.capacity (max 256 (2 * t.n_spans)) in
+      let bigger = Array.make cap null_span in
+      Array.blit t.pool 0 bigger 0 t.n_spans;
+      t.pool <- bigger
+    end;
+    t.pool.(t.n_spans) <- s;
     t.n_spans <- t.n_spans + 1
   end
   else t.dropped <- t.dropped + 1;
@@ -105,12 +118,34 @@ let with_span t ?(attrs = []) name f =
   end
 
 (* Completed+open spans in start order. *)
-let spans t = List.rev t.spans
+let spans t =
+  let acc = ref [] in
+  for i = t.n_spans - 1 downto 0 do
+    acc := t.pool.(i) :: !acc
+  done;
+  !acc
 
-(* Same spans, newest first, without the copy — for hot paths that only
-   fold over the log and don't care about order. *)
-let spans_rev t = t.spans
+(* Same spans, newest first. *)
+let spans_rev t =
+  let acc = ref [] in
+  for i = 0 to t.n_spans - 1 do
+    acc := t.pool.(i) :: !acc
+  done;
+  !acc
+
+(* Start-order snapshot of the pool — the cheap bulk read: one array copy,
+   no per-span cons cell. *)
+let to_array t = Array.sub t.pool 0 t.n_spans
+
+(* Zero-allocation walk in start order.  [unsafe_get] is fine: slots
+   [0, n_spans) are always live spans by the sink invariant. *)
+let iter t f =
+  for i = 0 to t.n_spans - 1 do
+    f (Array.unsafe_get t.pool i)
+  done
+
 let span_count t = t.n_spans
+let next_span_id t = t.next_id
 let dropped t = t.dropped
 
 let roots t = List.filter (fun s -> s.parent = None) (spans t)
@@ -125,8 +160,33 @@ let attr_int s key =
 let attr_string s key =
   match attr s key with Some (S v) -> Some v | _ -> None
 
+(* Allocation-free variants for per-span hot loops (the report builder
+   walks 10⁶-span logs): no [option] wrapper, first binding wins as in
+   [attr].  The recursion lives at top level — an inner [let rec] would
+   allocate a fresh closure per call, which at two lookups per span is
+   megawords of garbage on a million-span walk. *)
+let rec attr_is_from attrs key v =
+  match attrs with
+  | [] -> false
+  | (k, value) :: rest ->
+      if String.equal k key then
+        match value with S x -> String.equal x v | _ -> false
+      else attr_is_from rest key v
+
+let attr_is s key v = attr_is_from s.attrs key v
+
+let rec attr_int_from attrs key default =
+  match attrs with
+  | [] -> default
+  | (k, value) :: rest ->
+      if String.equal k key then
+        match value with I i -> i | _ -> default
+      else attr_int_from rest key default
+
+let attr_int_def s key ~default = attr_int_from s.attrs key default
+
 let reset t =
-  t.spans <- [];
+  t.pool <- [||];  (* release the pool so retained spans stay collectable *)
   t.n_spans <- 0;
   t.dropped <- 0;
   t.next_id <- 0;

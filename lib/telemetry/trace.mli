@@ -71,11 +71,23 @@ val with_span : t -> ?attrs:attr list -> string -> (span -> 'a) -> 'a
 (** Completed+open spans in start order (copies the log). *)
 val spans : t -> span list
 
-(** Same spans, newest first, without the copy — for hot paths that only
-    fold over the log and don't care about order. *)
+(** Same spans, newest first (also a copy — the sink is a pooled array, so
+    both list views cost one cons per span; prefer [to_array] or [iter] on
+    hot paths). *)
 val spans_rev : t -> span list
 
+(** Start-order snapshot: one array copy, no per-span cons cell.  The cheap
+    bulk read for million-span logs. *)
+val to_array : t -> span array
+
+(** Zero-allocation walk over the log in start order. *)
+val iter : t -> (span -> unit) -> unit
+
 val span_count : t -> int
+
+(** Exclusive upper bound on span ids in this tracer generation (counts
+    dropped spans too) — lets readers size dense id-indexed tables. *)
+val next_span_id : t -> int
 
 (** Spans lost to the bounded sink. *)
 val dropped : t -> int
@@ -90,6 +102,13 @@ val find : t -> string -> span option
 val attr : span -> string -> attr_value option
 val attr_int : span -> string -> int option
 val attr_string : span -> string -> string option
+
+(** Allocation-free variants for per-span hot loops.  [attr_is s key v] is
+    true iff [key]'s first binding is the string [v]; [attr_int_def] reads
+    an integer attribute with a default instead of an [option]. *)
+val attr_is : span -> string -> string -> bool
+
+val attr_int_def : span -> string -> default:int -> int
 
 (** Drop every recorded span and start a new tracer generation: span ids
     restart at 0 (see [create]), the open-scope stack, drop counter and

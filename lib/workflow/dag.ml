@@ -3,7 +3,15 @@
    A task carries one or more implementations (the compiler's variants):
    software on some number of threads, or a synthesized FPGA kernel.  The
    scheduler picks a node and an implementation per task; the executor
-   replays the plan on the simulated platform. *)
+   replays the plan on the simulated platform.
+
+   Scale: the reverse adjacency (consumers) is precomputed once at
+   construction as an array of arrays, so [consumers]/[iter_consumers] are
+   O(out-degree) instead of the historical O(n) rebuild per call — at 10⁵+
+   tasks that rebuild made every downstream walk (HEFT ranks, executor
+   completions) quadratic.  The cache is keyed on the physical identity of
+   the task array, so functional updates ([{ dag with tasks = … }]) get a
+   fresh index lazily instead of a stale one. *)
 
 type impl =
   | Cpu of { flops : float; bytes : float; threads : int }
@@ -27,26 +35,69 @@ type task = {
   pinned : string option;  (* sources pinned to a node (data origin) *)
 }
 
-type t = { dag_name : string; tasks : task array }
+type t = {
+  dag_name : string;
+  tasks : task array;
+  mutable rev_adj : (task array * int array array) option;
+}
 
 let task ?(pinned = None) ?(impls = []) ~id ~name ~inputs ~out_bytes () =
   { id; name; impls; inputs; out_bytes; pinned }
 
-let create dag_name tasks =
-  let arr = Array.of_list tasks in
+(* Reverse adjacency in one O(tasks + edges) pass; consumer lists come out
+   in ascending task id (the order the historical scan produced).  Duplicate
+   inputs collapse to one edge, matching the old [List.mem] semantics. *)
+let build_rev_adj tasks =
+  let n = Array.length tasks in
+  let deg = Array.make n 0 in
+  let each_input t f =
+    match t.inputs with
+    | [] -> ()
+    | [ d ] -> f d
+    | ds -> List.iter f (List.sort_uniq compare ds)
+  in
+  Array.iter (fun t -> each_input t (fun d -> deg.(d) <- deg.(d) + 1)) tasks;
+  let adj = Array.init n (fun i -> Array.make deg.(i) 0) in
+  let fill = Array.make n 0 in
+  Array.iter
+    (fun t ->
+      each_input t (fun d ->
+          adj.(d).(fill.(d)) <- t.id;
+          fill.(d) <- fill.(d) + 1))
+    tasks;
+  adj
+
+let of_tasks dag_name tasks =
   Array.iteri
     (fun i t ->
       if t.id <> i then invalid_arg "dag: ids must be consecutive";
       List.iter
         (fun d -> if d >= i then invalid_arg "dag: inputs must precede tasks")
         t.inputs)
-    arr;
-  { dag_name; tasks = arr }
+    tasks;
+  { dag_name; tasks; rev_adj = Some (tasks, build_rev_adj tasks) }
+
+let create dag_name tasks = of_tasks dag_name (Array.of_list tasks)
 
 let size d = Array.length d.tasks
 let find d id = d.tasks.(id)
 
-let consumers d id =
+let rev_adj d =
+  match d.rev_adj with
+  | Some (arr, adj) when arr == d.tasks -> adj
+  | _ ->
+      let adj = build_rev_adj d.tasks in
+      d.rev_adj <- Some (d.tasks, adj);
+      adj
+
+let consumers_array d id = (rev_adj d).(id)
+let consumers d id = Array.to_list (rev_adj d).(id)
+let iter_consumers d id f = Array.iter f (rev_adj d).(id)
+let out_degree d id = Array.length (rev_adj d).(id)
+
+(* The historical O(n·deg) rebuild, kept as the reference the cached index
+   is property-tested against (and as the quadratic baseline in e17). *)
+let consumers_naive d id =
   Array.to_list d.tasks
   |> List.filter_map (fun t -> if List.mem id t.inputs then Some t.id else None)
 
@@ -61,36 +112,38 @@ let total_flops d =
 (* ---- generators ------------------------------------------------------------------ *)
 
 (* Layered random DAG: [layers] layers of [width] tasks, each consuming 1-2
-   tasks from the previous layer.  Deterministic in [seed]. *)
+   tasks from the previous layer.  Deterministic in [seed]; emits exactly
+   the task array of the historical list-based generator (which kept the
+   previous layer newest-first, so draw [k] named id [l·width - 1 - k]) but
+   in O(n) instead of O(n·width) [List.nth] walks. *)
 let layered ?(seed = 1) ~layers ~width ~flops ~bytes () =
   let rng = Everest_parallel.Rng.create seed in
   let rand m = Everest_parallel.Rng.int rng m in
-  let tasks = ref [] in
+  let n = layers * width in
+  let out_bytes = int_of_float bytes in
+  let impls = [ Cpu { flops; bytes; threads = 1 } ] in
+  let tasks =
+    Array.init n (fun _ ->
+        { id = 0; name = ""; impls = []; inputs = []; out_bytes = 0;
+          pinned = None })
+  in
   let id = ref 0 in
-  let prev = ref [] in
   for l = 0 to layers - 1 do
-    let this = ref [] in
     for w = 0 to width - 1 do
       let inputs =
         if l = 0 then []
         else
-          let p = List.nth !prev (rand (List.length !prev)) in
-          let q = List.nth !prev (rand (List.length !prev)) in
+          let p = (l * width) - 1 - rand width in
+          let q = (l * width) - 1 - rand width in
           List.sort_uniq compare [ p; q ]
       in
-      let t =
-        task ~id:!id ~name:(Printf.sprintf "t%d_%d" l w) ~inputs
-          ~out_bytes:(int_of_float bytes)
-          ~impls:[ Cpu { flops; bytes; threads = 1 } ]
-          ()
-      in
-      this := !id :: !this;
-      incr id;
-      tasks := t :: !tasks
-    done;
-    prev := !this
+      tasks.(!id) <-
+        task ~id:!id ~name:(Printf.sprintf "t%d_%d" l w) ~inputs ~out_bytes
+          ~impls ();
+      incr id
+    done
   done;
-  create "layered" (List.rev !tasks)
+  of_tasks "layered" tasks
 
 (* Fork-join: one source fans out to [width] parallel workers, joined by a
    reducer — the shape of ensemble weather processing. *)
@@ -117,3 +170,51 @@ let fork_join ?(name = "fork-join") ~width ~worker_flops ~worker_bytes
       ()
   in
   create name ((src :: workers) @ [ join ])
+
+(* Ensemble: [members] independent [stages]-deep chains fed by one source
+   and joined by a reducer — the Estee "ensemble of simulations" family.
+   Per-member work is jittered by up to 2x (deterministic in [seed]) so
+   members straggle like real ensembles do. *)
+let ensemble ?(seed = 1) ~members ~stages ~stage_flops ~stage_bytes () =
+  if members < 1 || stages < 1 then
+    invalid_arg "ensemble: members and stages must be positive";
+  let rng = Everest_parallel.Rng.create seed in
+  let n = 2 + (members * stages) in
+  let out_bytes = int_of_float stage_bytes in
+  let tasks =
+    Array.init n (fun _ ->
+        { id = 0; name = ""; impls = []; inputs = []; out_bytes = 0;
+          pinned = None })
+  in
+  tasks.(0) <-
+    task ~id:0 ~name:"source" ~inputs:[] ~out_bytes:(members * out_bytes)
+      ~impls:
+        [ Cpu { flops = 1e6; bytes = float_of_int members *. stage_bytes;
+                threads = 1 } ]
+      ();
+  for m = 0 to members - 1 do
+    (* member-level straggle factor in [1, 2) *)
+    let jitter = 1.0 +. Everest_parallel.Rng.float rng in
+    for s = 0 to stages - 1 do
+      let id = 1 + (m * stages) + s in
+      tasks.(id) <-
+        task ~id
+          ~name:(Printf.sprintf "m%d_s%d" m s)
+          ~inputs:[ (if s = 0 then 0 else id - 1) ]
+          ~out_bytes
+          ~impls:
+            [ Cpu { flops = stage_flops *. jitter; bytes = stage_bytes;
+                    threads = 1 } ]
+          ()
+    done
+  done;
+  let last = n - 1 in
+  tasks.(last) <-
+    task ~id:last ~name:"reduce"
+      ~inputs:(List.init members (fun m -> (m * stages) + stages))
+      ~out_bytes
+      ~impls:
+        [ Cpu { flops = 1e7; bytes = float_of_int members *. stage_bytes;
+                threads = 1 } ]
+      ();
+  of_tasks "ensemble" tasks

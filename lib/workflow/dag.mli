@@ -25,7 +25,16 @@ type task = {
   pinned : string option;  (** Sources pinned to a node (data origin). *)
 }
 
-type t = { dag_name : string; tasks : task array }
+type t = {
+  dag_name : string;
+  tasks : task array;
+  mutable rev_adj : (task array * int array array) option;
+      (** Cached reverse adjacency (consumer ids per producer), built once
+          at construction; valid while its first component is physically
+          the current [tasks] array, so functional updates of [tasks] get
+          a fresh index lazily rather than a stale one.  Use the accessors
+          below, not this field. *)
+}
 
 val task :
   ?pinned:string option ->
@@ -42,7 +51,21 @@ val create : string -> task list -> t
 
 val size : t -> int
 val find : t -> int -> task
+
+(** Consumer task ids of [id] in ascending order, O(out-degree) from the
+    cached reverse adjacency (duplicate inputs collapse to one edge). *)
 val consumers : t -> int -> int list
+
+(** Same consumers without the list copy (do not mutate the array). *)
+val consumers_array : t -> int -> int array
+
+val iter_consumers : t -> int -> (int -> unit) -> unit
+val out_degree : t -> int -> int
+
+(** The historical O(n·deg) scan — the reference [consumers] is
+    property-tested against, and the quadratic baseline of bench e17. *)
+val consumers_naive : t -> int -> int list
+
 val total_flops : t -> float
 
 (** {2 Generators} *)
@@ -60,5 +83,18 @@ val fork_join :
   worker_flops:float ->
   worker_bytes:float ->
   chunk_bytes:int ->
+  unit ->
+  t
+
+(** [members] independent [stages]-deep chains fed by one source and joined
+    by a reducer — the Estee "ensemble of simulations" family.  Per-member
+    work is jittered by up to 2x, deterministic in [seed], so members
+    straggle like real ensembles. *)
+val ensemble :
+  ?seed:int ->
+  members:int ->
+  stages:int ->
+  stage_flops:float ->
+  stage_bytes:float ->
   unit ->
   t

@@ -46,6 +46,59 @@ let test_run_until () =
   Desim.run sim;
   checkb "resumes past horizon" true !fired
 
+let test_cancel () =
+  let sim = Desim.create () in
+  let log = ref [] in
+  let h = Desim.schedule_cancellable sim 2.0 (fun () -> log := "x" :: !log) in
+  Desim.schedule sim 1.0 (fun () -> log := "a" :: !log);
+  Desim.schedule sim 3.0 (fun () -> log := "b" :: !log);
+  checki "two live + one cancellable pending" 3 (Desim.pending sim);
+  Desim.cancel sim h;
+  checkb "marked cancelled" true (Desim.cancelled h);
+  checki "pending excludes cancelled" 2 (Desim.pending sim);
+  Desim.run sim;
+  checkb "cancelled event never ran" true (List.rev !log = [ "a"; "b" ]);
+  checkf 1e-12 "clock not advanced by skip" 3.0 (Desim.now sim);
+  checki "cancelled event not counted" 2 (Desim.executed sim);
+  (* cancelling after the fact is a no-op *)
+  Desim.cancel sim h;
+  checki "still two executed" 2 (Desim.executed sim)
+
+let test_cancel_fired_noop () =
+  let sim = Desim.create () in
+  let fired = ref 0 in
+  let h = Desim.schedule_cancellable sim 1.0 (fun () -> incr fired) in
+  Desim.run sim;
+  Desim.cancel sim h;  (* already fired: must not corrupt the accounting *)
+  checkb "not reported cancelled" false (Desim.cancelled h);
+  checki "fired exactly once" 1 !fired;
+  checki "nothing pending" 0 (Desim.pending sim)
+
+(* Mass cancellation must trigger in-place compaction so the heap doesn't
+   retain O(n) dead entries, and the pop-side shrink must bring capacity
+   back down after the burst — both invisible except through [pending]
+   staying exact and ordering surviving. *)
+let test_cancel_compaction () =
+  let sim = Desim.create () in
+  let survivors = ref [] in
+  let handles =
+    List.init 10_000 (fun i ->
+        Desim.schedule_cancellable sim
+          (1.0 +. float_of_int i)
+          (fun () -> survivors := i :: !survivors))
+  in
+  (* cancel all but every 100th *)
+  List.iteri
+    (fun i h -> if i mod 100 <> 0 then Desim.cancel sim h)
+    handles;
+  checki "pending = survivors" 100 (Desim.pending sim);
+  Desim.run sim;
+  checki "all survivors ran" 100 (List.length !survivors);
+  checkb "in order" true
+    (List.rev !survivors = List.init 100 (fun i -> i * 100));
+  checkf 1e-12 "clock at last survivor" (1.0 +. 9900.0) (Desim.now sim);
+  checki "drained" 0 (Desim.pending sim)
+
 let test_resource_serializes () =
   let sim = Desim.create () in
   let r = Desim.resource "unit" 1 in
@@ -220,6 +273,9 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
           Alcotest.test_case "nested" `Quick test_nested_scheduling;
           Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "cancel after fire" `Quick test_cancel_fired_noop;
+          Alcotest.test_case "mass cancel compaction" `Quick test_cancel_compaction;
           Alcotest.test_case "resource serializes" `Quick test_resource_serializes;
           Alcotest.test_case "resource parallel" `Quick test_resource_parallelism ] );
       ( "spec",

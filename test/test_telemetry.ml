@@ -57,6 +57,38 @@ let test_bounded_sink () =
   checki "overflow counted" 15 (Trace.dropped t);
   checki "listed = capacity" 10 (List.length (Trace.spans t))
 
+let test_pooled_sink_views () =
+  (* the pooled array sink must agree with both list views, in the right
+     orders, and survive growth past the initial pool size *)
+  let clock = ref 0.0 in
+  let t = Trace.create ~clock:(fun () -> !clock) () in
+  let n = 1000 in
+  for i = 0 to n - 1 do
+    clock := float_of_int i;
+    Trace.finish t (Trace.start t (Printf.sprintf "s%d" i))
+  done;
+  checki "count" n (Trace.span_count t);
+  let arr = Trace.to_array t in
+  checki "array size" n (Array.length arr);
+  checkb "array in start order" true
+    (Array.for_all (fun i -> arr.(i).Trace.id = i) (Array.init n Fun.id));
+  checkb "spans = array order" true
+    (List.map (fun s -> s.Trace.id) (Trace.spans t)
+    = Array.to_list (Array.map (fun s -> s.Trace.id) arr));
+  checkb "spans_rev is newest first" true
+    (List.map (fun s -> s.Trace.id) (Trace.spans_rev t)
+    = List.rev (List.init n Fun.id));
+  let seen = ref 0 in
+  Trace.iter t (fun s ->
+      if s.Trace.id = !seen then incr seen);
+  checki "iter walks start order" n !seen;
+  Trace.reset t;
+  checki "reset empties" 0 (Trace.span_count t);
+  checki "reset drops views" 0 (Array.length (Trace.to_array t));
+  (* ids restart: new generation *)
+  let s = Trace.start t "fresh" in
+  checki "ids restart" 0 s.Trace.id
+
 let test_noop_tracer_records_nothing () =
   Trace.with_span Trace.noop "x" (fun _ -> ());
   checki "noop stays empty" 0 (Trace.span_count Trace.noop);
@@ -704,6 +736,7 @@ let () =
           Alcotest.test_case "explicit parent" `Quick
             test_explicit_parent_across_callbacks;
           Alcotest.test_case "bounded sink" `Quick test_bounded_sink;
+          Alcotest.test_case "pooled sink views" `Quick test_pooled_sink_views;
           Alcotest.test_case "noop tracer" `Quick
             test_noop_tracer_records_nothing ] );
       ( "histogram",

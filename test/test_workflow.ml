@@ -245,18 +245,151 @@ let prop_makespan_sane =
       let _, stats = Executor.run_on_demonstrator ~policy:"heft" d in
       Float.is_finite stats.Executor.makespan && stats.Executor.makespan > 0.0)
 
+(* ---- scale engineering (e17) ------------------------------------------------ *)
+
+(* Random small/medium DAGs across the three generator families, ≤ ~200
+   tasks so the quadratic reference scheduler stays cheap in the property
+   loop. *)
+let arbitrary_dag =
+  QCheck.(
+    map
+      (fun (kind, seed, a, b) ->
+        match kind with
+        | 0 ->
+            Dag.layered ~seed ~layers:(2 + (a mod 8)) ~width:(1 + (b mod 12))
+              ~flops:2e9 ~bytes:1e6 ()
+        | 1 ->
+            Dag.fork_join ~width:(2 + (a mod 40)) ~worker_flops:1e9
+              ~worker_bytes:1e6
+              ~chunk_bytes:(1024 * (1 + (b mod 64)))
+              ()
+        | _ ->
+            Dag.ensemble ~seed ~members:(1 + (a mod 10)) ~stages:(1 + (b mod 8))
+              ~stage_flops:1e9 ~stage_bytes:1e5 ())
+      (quad (int_range 0 2) (int_range 0 1000) (int_range 0 1000)
+         (int_range 0 1000)))
+
+(* satellite: the cached reverse adjacency must agree with the historical
+   O(n·deg) scan for every task, in the same (ascending, deduplicated)
+   order *)
+let prop_consumers_match_naive =
+  QCheck.Test.make ~count:50 ~name:"Dag.consumers = consumers_naive"
+    arbitrary_dag
+    (fun d ->
+      List.for_all
+        (fun i ->
+          Dag.consumers d i = Dag.consumers_naive d i
+          && Dag.out_degree d i = List.length (Dag.consumers_naive d i))
+        (List.init (Dag.size d) Fun.id))
+
+(* tentpole: the memoized array-based HEFT must produce plans
+   assignment-identical to the pre-PR implementation *)
+let prop_heft_matches_reference =
+  QCheck.Test.make ~count:30 ~name:"heft = heft_reference (both variants)"
+    arbitrary_dag
+    (fun d ->
+      let c = Cluster.everest_demonstrator () in
+      List.for_all
+        (fun locality_aware ->
+          let fast = Scheduler.heft ~locality_aware c d in
+          let slow = Scheduler.heft_reference ~locality_aware c d in
+          fast.Scheduler.assignments = slow.Scheduler.assignments
+          && String.equal fast.Scheduler.policy slow.Scheduler.policy)
+        [ false; true ])
+
+(* satellite: repairing a plan after node death must land within ε of a
+   full reschedule over the survivors.  ε is calibrated loose (35%):
+   delta keeps unaffected placements frozen, so it trades some quality for
+   cone-local decision time; what the property pins is that it never
+   collapses (and never beats physics: both makespans are executable). *)
+let prop_delta_close_to_full =
+  QCheck.Test.make ~count:15 ~name:"heft_delta within ε of full reschedule"
+    arbitrary_dag
+    (fun d ->
+      let dead = [ "p9" ] in
+      let run plan =
+        let c' = Cluster.everest_demonstrator () in
+        let stats = Executor.execute c' { plan with Scheduler.dag = d } in
+        stats.Executor.makespan
+      in
+      let c = Cluster.everest_demonstrator () in
+      let base = Scheduler.heft c d in
+      let delta = Scheduler.heft_delta c base ~dead in
+      let full = Scheduler.heft ~exclude:dead c d in
+      (* delta must really vacate the dead node *)
+      Array.for_all
+        (fun (a : Scheduler.assignment) ->
+          not (List.mem a.Scheduler.node dead))
+        delta.Scheduler.assignments
+      &&
+      let m_delta = run delta and m_full = run full in
+      Float.is_finite m_delta && m_delta > 0.0
+      && m_delta <= m_full *. 1.35 +. 1e-9)
+
+let plan_digest (plan : Scheduler.plan) =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun (a : Scheduler.assignment) ->
+      Buffer.add_string buf a.Scheduler.node;
+      Buffer.add_char buf '/';
+      Buffer.add_string buf (Dag.impl_name a.Scheduler.impl);
+      Buffer.add_char buf ';')
+    plan.Scheduler.assignments;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Golden digests captured from the pre-memoization scheduler on the
+   e14/e15 workloads (demonstrator cluster).  Any drift here means the
+   scale overhaul changed placement, which it must not. *)
+let test_plan_goldens () =
+  let checks = Alcotest.check Alcotest.string in
+  let e14 = Dag.layered ~seed:11 ~layers:5 ~width:4 ~flops:2e9 ~bytes:1e6 () in
+  let e15 = Dag.layered ~seed:7 ~layers:5 ~width:4 ~flops:2e9 ~bytes:1e6 () in
+  let digest policy dag =
+    let c = Cluster.everest_demonstrator () in
+    plan_digest ((Option.get (Scheduler.by_name policy)) c dag)
+  in
+  List.iter
+    (fun (name, dag, policy, expect) ->
+      checks (name ^ " " ^ policy) expect (digest policy dag))
+    [ ("e14", e14, "round-robin", "fdfa36d88cdac2a3e5cf751588b2876a");
+      ("e14", e14, "min-load", "ad03b338ce475cf4acda9efabed721b4");
+      ("e14", e14, "heft", "cdc35b0538c938f189f0e000ffb40305");
+      ("e14", e14, "heft-locality", "4669a6d5ac50e3387f3b734399c8171b");
+      ("e15", e15, "round-robin", "fdfa36d88cdac2a3e5cf751588b2876a");
+      ("e15", e15, "min-load", "ad03b338ce475cf4acda9efabed721b4");
+      ("e15", e15, "heft", "4aafecd46c3d80327977d421f1f59d13");
+      ("e15", e15, "heft-locality", "0b25ebf2263a5752aa8c121b1a0ea4e8") ]
+
+let test_ensemble_generator () =
+  let d = Dag.ensemble ~seed:3 ~members:4 ~stages:3 ~stage_flops:1e9 ~stage_bytes:1e5 () in
+  checki "size = 1 + members*stages + 1" 14 (Dag.size d);
+  checki "source fan-out" 4 (List.length (Dag.consumers d 0));
+  checki "reducer fan-in" 4 (List.length (Dag.find d 13).Dag.inputs);
+  let d2 = Dag.ensemble ~seed:3 ~members:4 ~stages:3 ~stage_flops:1e9 ~stage_bytes:1e5 () in
+  checkb "deterministic" true
+    (Array.for_all2
+       (fun (a : Dag.task) b ->
+         a.Dag.inputs = b.Dag.inputs && a.Dag.impls = b.Dag.impls)
+       d.Dag.tasks d2.Dag.tasks)
+
 let () =
   Alcotest.run "everest_workflow"
     [
       ( "dag",
         [ Alcotest.test_case "validation" `Quick test_dag_validation;
-          Alcotest.test_case "layered gen" `Quick test_layered_generator ] );
+          Alcotest.test_case "layered gen" `Quick test_layered_generator;
+          Alcotest.test_case "ensemble gen" `Quick test_ensemble_generator;
+          QCheck_alcotest.to_alcotest prop_consumers_match_naive ] );
       ( "schedulers",
         [ Alcotest.test_case "all policies" `Quick test_all_policies_execute;
           Alcotest.test_case "chain deps" `Quick test_chain_respects_deps;
           Alcotest.test_case "locality wins" `Quick test_locality_beats_round_robin_on_heavy_data;
           Alcotest.test_case "pinned source" `Quick test_pinned_source;
           Alcotest.test_case "fpga variant" `Quick test_fpga_impl_selected_when_faster ] );
+      ( "scale",
+        [ Alcotest.test_case "plan goldens" `Quick test_plan_goldens;
+          QCheck_alcotest.to_alcotest prop_heft_matches_reference;
+          QCheck_alcotest.to_alcotest prop_delta_close_to_full ] );
       ( "executor",
         [ Alcotest.test_case "stats" `Quick test_executor_stats;
           QCheck_alcotest.to_alcotest prop_makespan_sane;
