@@ -32,7 +32,12 @@
      everest_cli estee [--tasks N] [--family F] [--policy P] [--budget-s T]
          Estee-style scheduler scale smoke: plan (and optionally execute)
          one generated DAG family instance; exit 1 if the wall clock
-         exceeds the budget — the CI guard against O(n^2) regressions  *)
+         exceeds the budget — the CI guard against O(n^2) regressions
+     everest_cli plan-lint [--examples] [--family F --tasks N --policy P]
+                           [--demo] [--strict] [--format text|json]
+         statically sanitize execution plans (EV1xx): structure,
+         happens-before, placement capability and SLO feasibility; exit 1
+         on errors, --demo seeds one defective plan per class            *)
 
 open Cmdliner
 module Sdk = Everest.Sdk
@@ -925,7 +930,13 @@ let lint_cmd =
       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
       & info [ "format" ] ~doc:"Output format: text, json.")
   in
-  let run files demo examples format =
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Promote warnings to errors (exit 1 on any warning).")
+  in
+  let run files demo examples format strict =
     EIr.Registry.register_all ();
     let read_file f =
       let ic = open_in_bin f in
@@ -954,7 +965,13 @@ let lint_cmd =
       prerr_endline
         "lint: nothing to check (pass FILE arguments, --demo or --examples)";
       exit 2);
-    let results = List.map (fun (name, m) -> (name, Lint.run m)) mods in
+    let results =
+      List.map
+        (fun (name, m) ->
+          let ds = Lint.run m in
+          (name, if strict then Lint.promote_warnings ds else ds))
+        mods
+    in
     (match format with
     | `Text ->
         List.iter
@@ -975,7 +992,7 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Run the static-analysis rules (EV0xx) over IR modules.")
-    Term.(const run $ files $ demo $ examples $ format)
+    Term.(const run $ files $ demo $ examples $ format $ strict)
 
 (* ---- estee ----------------------------------------------------------------- *)
 
@@ -1058,6 +1075,304 @@ let estee_cmd =
     (Cmd.info "estee"
        ~doc:"Scheduler scale smoke: plan a DAG family against a wall budget.")
     Term.(const run $ tasks $ family $ policy $ seed $ budget $ execute)
+
+(* ---- plan-lint ------------------------------------------------------------- *)
+
+(* Static plan sanitization (EV1xx): lint (dag, plan, cluster) triples
+   before they reach the executor.  [--examples] lints every compiled
+   example workflow under every shipped scheduler (must be clean);
+   [--family] lints a generated estee-family plan against a wall budget (a
+   lint pass costing a noticeable fraction of planning is a regression);
+   [--demo] assembles one defective plan per EV1xx defect class and must
+   exit 1 with every class flagged. *)
+let plan_lint_cmd =
+  let module Wf = Sdk.Workflow in
+  let module Pl = Wf.Planlint in
+  let module Sched = Wf.Scheduler in
+  let module Dag = Wf.Dag in
+  let examples =
+    Arg.(
+      value & flag
+      & info [ "examples" ]
+          ~doc:
+            "Lint the compiled example workflows under every shipped \
+             scheduling policy (must be clean).")
+  in
+  let demo =
+    Arg.(
+      value & flag
+      & info [ "demo" ]
+          ~doc:
+            "Lint plans seeded with one defect per class (precedence break, \
+             off-pin, capability mismatch, slot oversubscription, \
+             infeasible SLO); exits 1.")
+  in
+  let family =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "family" ] ~docv:"F"
+          ~doc:"Lint a generated DAG family plan: layered, fork-join, \
+                ensemble.")
+  in
+  let tasks =
+    Arg.(
+      value & opt int 10_000
+      & info [ "tasks" ] ~docv:"N" ~doc:"Family DAG size (with --family).")
+  in
+  let policy =
+    Arg.(
+      value & opt string "heft"
+      & info [ "policy" ] ~docv:"P"
+          ~doc:"Scheduling policy for --family (heft, heft-locality, \
+                min-load, round-robin).")
+  in
+  let seed =
+    Arg.(value & opt int 17 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed.")
+  in
+  let budget =
+    Arg.(
+      value & opt float 0.0
+      & info [ "budget-s" ] ~docv:"T"
+          ~doc:
+            "With --family: exit 1 if the lint pass exceeds T seconds of \
+             wall time; 0 disables the check.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Promote warnings to errors (exit 1 on any warning).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~doc:"Output format: text, json.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-s" ] ~docv:"T"
+          ~doc:"Latency deadline for the EV140 feasibility check.")
+  in
+  let shipped_policies = [ "round-robin"; "min-load"; "heft"; "heft-locality" ] in
+  (* one defective plan per EV1xx defect class, built on the demonstrator *)
+  let demo_targets c =
+    let cpu = Dag.Cpu { flops = 1e9; bytes = 1e6; threads = 1 } in
+    let est =
+      { Everest_hls.Estimate.area = Everest_hls.Estimate.zero_area;
+        cycles = 100_000; ii = 1; clock_mhz = 250.0; dynamic_power_w = 5.0 }
+    in
+    let fpga b =
+      Dag.Fpga { bitstream = b; estimate = est; in_bytes = 4096;
+                 out_bytes = 1024 }
+    in
+    let chain name =
+      Dag.create name
+        [ Dag.task ~id:0 ~name:"src" ~inputs:[] ~out_bytes:4096 ~impls:[ cpu ] ();
+          Dag.task ~id:1 ~name:"mid" ~inputs:[ 0 ] ~out_bytes:4096
+            ~impls:[ cpu ] ();
+          Dag.task ~id:2 ~name:"sink" ~inputs:[ 1 ] ~out_bytes:64
+            ~impls:[ cpu ] () ]
+    in
+    (* 1. precedence break: the plan's DAG lost the 1 -> 2 edge that the
+       reference DAG still carries *)
+    let edge_drop =
+      let full = chain "edge-drop" in
+      let cut =
+        Dag.create "edge-drop"
+          [ full.Dag.tasks.(0); full.Dag.tasks.(1);
+            { (full.Dag.tasks.(2)) with Dag.inputs = [] } ]
+      in
+      let plan =
+        match Sched.by_name "round-robin" with
+        | Some f -> f c cut
+        | None -> assert false
+      in
+      ("precedence-break", [ "EV110"; "EV111" ], Some full, None, plan)
+    in
+    (* 2. pinned source placed off its pin *)
+    let off_pin =
+      let d =
+        Dag.create "off-pin"
+          [ Dag.task ~id:0 ~name:"src" ~pinned:(Some "ep0") ~inputs:[]
+              ~out_bytes:4096 ~impls:[ cpu ] ();
+            Dag.task ~id:1 ~name:"sink" ~inputs:[ 0 ] ~out_bytes:64
+              ~impls:[ cpu ] () ]
+      in
+      let plan = Sched.heft c d in
+      let assignments = Array.copy plan.Sched.assignments in
+      assignments.(0) <-
+        { (assignments.(0)) with Sched.node = "cf0" };
+      ("off-pin", [ "EV120" ],
+       None, None, { plan with Sched.assignments; policy = "heft+mutated" })
+    in
+    (* 3. capability mismatch: FPGA implementation routed to an FPGA-less
+       endpoint while FPGA-capable nodes exist *)
+    let capability =
+      let d =
+        Dag.create "capability"
+          [ Dag.task ~id:0 ~name:"k" ~inputs:[] ~out_bytes:1024
+              ~impls:[ fpga "k" ] () ]
+      in
+      let plan =
+        { Sched.dag = d;
+          assignments = [| { Sched.node = "ep0"; impl = fpga "k" } |];
+          policy = "manual" }
+      in
+      ("capability-mismatch", [ "EV122" ], None, None, plan)
+    in
+    (* 4. slot oversubscription + reconfiguration thrash: eight concurrent
+       distinct-bitstream FPGA tasks on one 2-slot cloudFPGA node *)
+    let oversubscribe =
+      let width = 8 in
+      let workers =
+        List.init width (fun i ->
+            Dag.task ~id:(i + 1)
+              ~name:(Printf.sprintf "w%d" i)
+              ~inputs:[ 0 ] ~out_bytes:1024
+              ~impls:[ fpga (Printf.sprintf "bit%d" i) ]
+              ())
+      in
+      let d =
+        Dag.create "oversubscribe"
+          (Dag.task ~id:0 ~name:"src" ~inputs:[] ~out_bytes:4096
+             ~impls:[ cpu ] ()
+          :: workers)
+      in
+      let assignments =
+        Array.init (width + 1) (fun i ->
+            if i = 0 then { Sched.node = "ep0"; impl = cpu }
+            else
+              { Sched.node = "cf0";
+                impl = fpga (Printf.sprintf "bit%d" (i - 1)) })
+      in
+      ("slot-oversubscription", [ "EV130"; "EV131" ], None, None,
+       { Sched.dag = d; assignments; policy = "manual" })
+    in
+    (* 5. infeasible SLO: a deadline below the critical-path lower bound *)
+    let infeasible =
+      let d =
+        Dag.create "infeasible-slo"
+          [ Dag.task ~id:0 ~name:"heavy" ~inputs:[] ~out_bytes:64
+              ~impls:[ Dag.Cpu { flops = 1e13; bytes = 1e6; threads = 1 } ]
+              () ]
+      in
+      ("infeasible-slo", [ "EV140" ], None, Some 1e-6, Sched.heft c d)
+    in
+    [ edge_drop; off_pin; capability; oversubscribe; infeasible ]
+  in
+  let run examples demo family tasks policy seed budget strict format deadline
+      =
+    let c = Sdk.Platform.Cluster.everest_demonstrator () in
+    (* each target: (name, expected codes, reference dag, deadline, plan) *)
+    let targets = ref [] in
+    if examples then
+      List.iter
+        (fun (name, g) ->
+          let dag = (Sdk.compile g).Everest_compiler.Pipeline.dag in
+          List.iter
+            (fun p ->
+              match Sched.by_name p with
+              | Some f ->
+                  targets :=
+                    (name ^ "/" ^ p, [], None, None, f c dag) :: !targets
+              | None -> ())
+            shipped_policies)
+        (example_graphs ());
+    (match family with
+    | Some f -> (
+        let module Sb = Wf.Scalebench in
+        match Sb.family_of_string f with
+        | None ->
+            Printf.eprintf "plan-lint: unknown family %S\n" f;
+            exit 2
+        | Some fam -> (
+            match Sched.by_name policy with
+            | None ->
+                Printf.eprintf "plan-lint: unknown policy %S\n" policy;
+                exit 2
+            | Some sched ->
+                let dag = Sb.make_dag ~seed fam ~tasks in
+                targets :=
+                  (Printf.sprintf "%s-%d/%s" f tasks policy, [], None, None,
+                   sched c dag)
+                  :: !targets))
+    | None -> ());
+    if demo then targets := !targets @ demo_targets c;
+    let targets = List.rev !targets in
+    if targets = [] then begin
+      prerr_endline
+        "plan-lint: nothing to check (pass --examples, --family or --demo)";
+      exit 2
+    end;
+    let lint_wall = ref 0.0 in
+    let results =
+      List.map
+        (fun (name, expected, dag, dl, plan) ->
+          let dl = match dl with Some _ as d -> d | None -> deadline in
+          let t0 = Unix.gettimeofday () in
+          let ds = Pl.check ?dag ?deadline_s:dl c plan in
+          lint_wall := !lint_wall +. (Unix.gettimeofday () -. t0);
+          let ds = if strict then Lint.promote_warnings ds else ds in
+          (name, expected, ds))
+        targets
+    in
+    (match format with
+    | `Text ->
+        List.iter
+          (fun (name, _, ds) ->
+            Format.printf "== %s ==@.%s@." name (Lint.render_text ds))
+          results
+    | `Json ->
+        let items =
+          List.map
+            (fun (name, _, ds) ->
+              Printf.sprintf "{\"plan\": \"%s\", \"report\": %s}" name
+                (String.trim (Lint.render_json ds)))
+            results
+        in
+        print_string ("[" ^ String.concat ",\n" items ^ "]\n"));
+    (* no false negatives: every seeded defect class must be flagged with
+       its expected code *)
+    let missing =
+      List.concat_map
+        (fun (name, expected, ds) ->
+          List.filter_map
+            (fun code ->
+              if List.exists (fun d -> String.equal d.Lint.code code) ds then
+                None
+              else Some (name, code))
+            expected)
+        results
+    in
+    if missing <> [] then begin
+      List.iter
+        (fun (name, code) ->
+          Printf.eprintf "plan-lint: seeded defect %s NOT caught (%s)\n" name
+            code)
+        missing;
+      exit 2
+    end;
+    if budget > 0.0 && !lint_wall > budget then begin
+      Printf.eprintf
+        "plan-lint: lint wall %.3fs exceeded budget %.3fs — analyzer \
+         throughput regressed\n"
+        !lint_wall budget;
+      exit 1
+    end;
+    if List.exists (fun (_, _, ds) -> Lint.has_errors ds) results then exit 1
+  in
+  Cmd.v
+    (Cmd.info "plan-lint"
+       ~doc:
+         "Statically sanitize execution plans (EV1xx): structure, \
+          happens-before, placement capability, SLO feasibility.")
+    Term.(
+      const run $ examples $ demo $ family $ tasks $ policy $ seed $ budget
+      $ strict $ format $ deadline)
 
 (* ---- observe --------------------------------------------------------------- *)
 
@@ -1294,4 +1609,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "everest_cli" ~doc)
           [ compile_cmd; run_cmd; serve_cmd; hls_cmd; telemetry_cmd; chaos_cmd;
-            lint_cmd; observe_cmd; estee_cmd ]))
+            lint_cmd; observe_cmd; estee_cmd; plan_lint_cmd ]))

@@ -299,6 +299,11 @@ let errors ds = List.filter (fun d -> d.severity = Error) ds
 let warnings ds = List.filter (fun d -> d.severity = Warning) ds
 let has_errors ds = List.exists (fun d -> d.severity = Error) ds
 
+let promote_warnings ds =
+  List.map
+    (fun d -> if d.severity = Warning then { d with severity = Error } else d)
+    ds
+
 (* ---- rendering --------------------------------------------------------- *)
 
 let pp_diag ppf d =

@@ -69,6 +69,10 @@ val run : ?ctx:ctx -> ?only:string list -> Ir.modul -> diag list
 val errors : diag list -> diag list
 val warnings : diag list -> diag list
 val has_errors : diag list -> bool
+
+(** Promote every warning to an error (infos are untouched) — the [--strict]
+    mode of the CLI lint commands, letting CI enforce a warning-free tree. *)
+val promote_warnings : diag list -> diag list
 val pp_diag : Format.formatter -> diag -> unit
 
 (** Human-readable listing with a trailing summary line. *)

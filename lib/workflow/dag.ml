@@ -70,10 +70,34 @@ let build_rev_adj tasks =
 let of_tasks dag_name tasks =
   Array.iteri
     (fun i t ->
-      if t.id <> i then invalid_arg "dag: ids must be consecutive";
+      let fail fmt =
+        Printf.ksprintf
+          (fun msg ->
+            invalid_arg
+              (Printf.sprintf "dag %S: task %d (%S): %s" dag_name t.id t.name
+                 msg))
+          fmt
+      in
+      if t.id <> i then fail "ids must be consecutive (expected id %d)" i;
       List.iter
-        (fun d -> if d >= i then invalid_arg "dag: inputs must precede tasks")
-        t.inputs)
+        (fun d ->
+          if d < 0 then fail "input %d is negative" d
+          else if d >= i then
+            fail "input %d does not precede the task (inputs must be < %d)" d
+              i)
+        t.inputs;
+      (* duplicate inputs deadlock the executor: it counts raw inputs but
+         producers signal deduplicated consumers *)
+      match t.inputs with
+      | [] | [ _ ] -> ()
+      | ds ->
+          let rec dups = function
+            | a :: (b :: _ as rest) ->
+                if a = b then fail "input %d is listed more than once" a
+                else dups rest
+            | _ -> ()
+          in
+          dups (List.sort compare ds))
     tasks;
   { dag_name; tasks; rev_adj = Some (tasks, build_rev_adj tasks) }
 

@@ -46,7 +46,11 @@ val task :
   unit ->
   task
 
-(** @raise Invalid_argument unless ids are consecutive and inputs precede. *)
+(** @raise Invalid_argument unless ids are consecutive, every input precedes
+    its task, and no task lists an input twice (duplicates would deadlock
+    the executor: it counts raw inputs but producers signal deduplicated
+    consumers).  Messages name the dag, the offending task id and name, and
+    the bad input id. *)
 val create : string -> task list -> t
 
 val size : t -> int

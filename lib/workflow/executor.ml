@@ -404,8 +404,9 @@ type token = {
 }
 
 let execute ?(failures = []) ?faults ?(policy = Policy.default)
-    ?(tracer = Trace.noop) ?(registry = Metrics.default) (c : Cluster.t)
-    (plan : Scheduler.plan) : stats =
+    ?(tracer = Trace.noop) ?(registry = Metrics.default) ?(plan_lint = true)
+    (c : Cluster.t) (plan : Scheduler.plan) : stats =
+  if plan_lint then Planlint.gate c plan;
   let faults =
     match faults with Some f -> f | None -> Faults.of_failures failures
   in

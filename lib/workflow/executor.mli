@@ -57,6 +57,11 @@ exception Execution_failed of { reason : string; partial : stats }
     task spans and per-transfer spans in simulated time, one track per
     node; [registry] (default {!Everest_telemetry.Metrics.default})
     accumulates [workflow_*] counters and task/transfer histograms.
+
+    [plan_lint] (default [true]) runs {!Planlint.gate} before deployment —
+    the pre-run counterpart of [Pipeline.compile ?lint]; pass [false] to
+    execute a plan the analyzer rejects (e.g. to reproduce a failure).
+    @raise Planlint.Plan_invalid when the gate finds error diagnostics.
     @raise Execution_failed when recovery is exhausted. *)
 val execute :
   ?failures:(string * float) list ->
@@ -64,6 +69,7 @@ val execute :
   ?policy:Everest_resilience.Policy.t ->
   ?tracer:Everest_telemetry.Trace.t ->
   ?registry:Everest_telemetry.Metrics.registry ->
+  ?plan_lint:bool ->
   Everest_platform.Cluster.t ->
   Scheduler.plan ->
   stats

@@ -1,0 +1,540 @@
+(* Tests for Everest_workflow.Planlint: the static plan sanitizer.
+
+   The mutation tests are the heart: every EV1xx defect class is seeded
+   into an otherwise-valid plan and the analyzer must flag it with the
+   right code (no false negatives), while QCheck asserts all four shipped
+   schedulers produce lint-clean plans over random generated DAGs (no
+   false positives on anything the system itself emits). *)
+
+open Everest_workflow
+open Everest_platform
+module Lint = Everest_analysis.Lint
+module Slo = Everest_observe.Slo
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let cpu = Dag.Cpu { flops = 1e9; bytes = 4096.0; threads = 1 }
+
+let est =
+  { Everest_hls.Estimate.area = Everest_hls.Estimate.zero_area;
+    cycles = 100_000; ii = 1; clock_mhz = 250.0; dynamic_power_w = 5.0 }
+
+let fpga b =
+  Dag.Fpga { bitstream = b; estimate = est; in_bytes = 4096; out_bytes = 1024 }
+
+let chain n =
+  Dag.create "chain"
+    (List.init n (fun i ->
+         Dag.task ~id:i ~name:(Printf.sprintf "c%d" i)
+           ~inputs:(if i = 0 then [] else [ i - 1 ])
+           ~out_bytes:4096 ~impls:[ cpu ] ()))
+
+let demonstrator () = Cluster.everest_demonstrator ()
+
+let plan_of ?(policy = "round-robin") c d =
+  match Scheduler.by_name policy with
+  | Some f -> f c d
+  | None -> Alcotest.failf "unknown policy %s" policy
+
+let has_code code ds = List.exists (fun d -> String.equal d.Lint.code code) ds
+
+let has_error_code code ds =
+  List.exists
+    (fun d -> String.equal d.Lint.code code && d.Lint.severity = Lint.Error)
+    ds
+
+(* a plan whose dag was swapped out from under its assignments (the
+   mutation vector every structural test uses) *)
+let with_dag plan dag = { plan with Scheduler.dag = dag }
+
+(* ---- reachability index ---------------------------------------------------- *)
+
+let test_reach_chain () =
+  let c = demonstrator () in
+  let plan = plan_of c (chain 6) in
+  let r = Planlint.Reach.build plan in
+  checki "tasks" 6 (Planlint.Reach.tasks r);
+  checkb "0 before 5" true (Planlint.Reach.reaches r 0 5);
+  checkb "3 before 4" true (Planlint.Reach.reaches r 3 4);
+  checkb "never before itself" false (Planlint.Reach.reaches r 2 2);
+  checkb "no backwards order" false (Planlint.Reach.reaches r 5 0)
+
+let test_reach_diamond_siblings_unordered () =
+  (* 0 -> {1, 2} -> 3 with the two branches on different nodes: nothing
+     orders 1 against 2 *)
+  let d =
+    Dag.create "diamond"
+      [ Dag.task ~id:0 ~name:"s" ~inputs:[] ~out_bytes:64 ~impls:[ cpu ] ();
+        Dag.task ~id:1 ~name:"l" ~inputs:[ 0 ] ~out_bytes:64 ~impls:[ cpu ] ();
+        Dag.task ~id:2 ~name:"r" ~inputs:[ 0 ] ~out_bytes:64 ~impls:[ cpu ] ();
+        Dag.task ~id:3 ~name:"j" ~inputs:[ 1; 2 ] ~out_bytes:64
+          ~impls:[ cpu ] () ]
+  in
+  let mk n = { Scheduler.node = n; impl = cpu } in
+  let plan =
+    { Scheduler.dag = d;
+      assignments = [| mk "ep0"; mk "ep1"; mk "ep2"; mk "ep3" |];
+      policy = "manual" }
+  in
+  let r = Planlint.Reach.build plan in
+  checkb "source before join" true (Planlint.Reach.reaches r 0 3);
+  checkb "siblings unordered l-r" false (Planlint.Reach.reaches r 1 2);
+  checkb "siblings unordered r-l" false (Planlint.Reach.reaches r 2 1);
+  (* co-locating the branches serializes them *)
+  let plan2 =
+    { plan with
+      Scheduler.assignments = [| mk "ep0"; mk "ep1"; mk "ep1"; mk "ep3" |] }
+  in
+  let r2 = Planlint.Reach.build plan2 in
+  checkb "co-located branches ordered" true
+    (Planlint.Reach.reaches r2 1 2 || Planlint.Reach.reaches r2 2 1)
+
+(* The index must agree with a naive transitive closure of the plan-order
+   graph (deduped data edges + per-node chain succession) on random DAGs. *)
+let prop_reach_matches_naive =
+  QCheck.Test.make ~count:30 ~name:"Reach = naive closure of plan order"
+    QCheck.(pair (int_range 0 1000) (int_range 0 2))
+    (fun (seed, kind) ->
+      let d =
+        match kind with
+        | 0 ->
+            Dag.layered ~seed ~layers:(2 + (seed mod 4))
+              ~width:(1 + (seed mod 6)) ~flops:1e9 ~bytes:1e5 ()
+        | 1 ->
+            Dag.fork_join ~width:(2 + (seed mod 12)) ~worker_flops:1e9
+              ~worker_bytes:1e5 ~chunk_bytes:4096 ()
+        | _ ->
+            Dag.ensemble ~seed ~members:(1 + (seed mod 5))
+              ~stages:(1 + (seed mod 4)) ~stage_flops:1e9 ~stage_bytes:1e4 ()
+      in
+      let c = demonstrator () in
+      let plan = plan_of ~policy:"round-robin" c d in
+      let n = Dag.size d in
+      (* plan-order adjacency: data edges + chain succession *)
+      let succ = Array.make n [] in
+      Array.iteri
+        (fun i (t : Dag.task) ->
+          List.iter
+            (fun j -> succ.(j) <- i :: succ.(j))
+            (List.sort_uniq compare t.Dag.inputs))
+        d.Dag.tasks;
+      let last = Hashtbl.create 16 in
+      Array.iteri
+        (fun i (a : Scheduler.assignment) ->
+          (match Hashtbl.find_opt last a.Scheduler.node with
+          | Some p -> succ.(p) <- i :: succ.(p)
+          | None -> ());
+          Hashtbl.replace last a.Scheduler.node i)
+        plan.Scheduler.assignments;
+      let reach_from u =
+        let seen = Array.make n false in
+        let rec go v =
+          List.iter
+            (fun w ->
+              if not seen.(w) then begin
+                seen.(w) <- true;
+                go w
+              end)
+            succ.(v)
+        in
+        go u;
+        seen
+      in
+      let r = Planlint.Reach.build plan in
+      List.for_all
+        (fun u ->
+          let seen = reach_from u in
+          List.for_all
+            (fun v -> Planlint.Reach.reaches r u v = seen.(v))
+            (List.init n Fun.id))
+        (List.init n Fun.id))
+
+(* ---- shipped plans are clean ------------------------------------------------ *)
+
+let prop_shipped_schedulers_lint_clean =
+  QCheck.Test.make ~count:25 ~name:"all shipped schedulers lint clean"
+    QCheck.(pair (int_range 0 1000) (int_range 0 2))
+    (fun (seed, kind) ->
+      let d =
+        match kind with
+        | 0 ->
+            Dag.layered ~seed ~layers:(2 + (seed mod 6))
+              ~width:(1 + (seed mod 8)) ~flops:2e9 ~bytes:1e6 ()
+        | 1 ->
+            Dag.fork_join ~width:(2 + (seed mod 30)) ~worker_flops:1e9
+              ~worker_bytes:1e6 ~chunk_bytes:8192 ()
+        | _ ->
+            Dag.ensemble ~seed ~members:(1 + (seed mod 8))
+              ~stages:(1 + (seed mod 6)) ~stage_flops:1e9 ~stage_bytes:1e5 ()
+      in
+      let c = demonstrator () in
+      List.for_all
+        (fun policy -> Planlint.check c (plan_of ~policy c d) = [])
+        [ "round-robin"; "min-load"; "heft"; "heft-locality" ])
+
+(* ---- structural mutations --------------------------------------------------- *)
+
+(* build a valid plan, then swap in a dag whose task [i] was rewritten
+   (functional update, bypassing Dag.create validation like buggy callers
+   would) *)
+let mutate_task d i f =
+  let tasks = Array.copy d.Dag.tasks in
+  tasks.(i) <- f tasks.(i);
+  { d with Dag.tasks = tasks }
+
+let test_ev100_dangling_input () =
+  let c = demonstrator () in
+  let d = chain 3 in
+  let plan = plan_of c d in
+  let bad = mutate_task d 2 (fun t -> { t with Dag.inputs = [ 99 ] }) in
+  let ds = Planlint.check c (with_dag plan bad) in
+  checkb "EV100 flagged" true (has_error_code "EV100" ds);
+  (* id/index disagreement is also EV100 *)
+  let bad2 = mutate_task d 1 (fun t -> { t with Dag.id = 7 }) in
+  let ds2 = Planlint.check c (with_dag plan bad2) in
+  checkb "id mismatch flagged" true (has_error_code "EV100" ds2)
+
+let test_ev101_duplicate_input () =
+  let c = demonstrator () in
+  let d = chain 3 in
+  let plan = plan_of c d in
+  let bad = mutate_task d 2 (fun t -> { t with Dag.inputs = [ 1; 1 ] }) in
+  let ds = Planlint.check c (with_dag plan bad) in
+  checkb "EV101 flagged" true (has_error_code "EV101" ds)
+
+let test_ev102_cycle () =
+  let c = demonstrator () in
+  let d = chain 4 in
+  let plan = plan_of c d in
+  let bad =
+    mutate_task
+      (mutate_task d 1 (fun t -> { t with Dag.inputs = [ 0; 3 ] }))
+      3
+      (fun t -> { t with Dag.inputs = [ 2 ] })
+  in
+  let ds = Planlint.check c (with_dag plan bad) in
+  checkb "EV102 flagged" true (has_error_code "EV102" ds)
+
+let test_ev103_stale_rev_adj () =
+  let c = demonstrator () in
+  (* in-place mutation poisons the cache: error *)
+  let d = chain 4 in
+  ignore (Dag.consumers d 0) (* force the cache *);
+  let plan = plan_of c d in
+  d.Dag.tasks.(3) <- { (d.Dag.tasks.(3)) with Dag.inputs = [ 0 ] };
+  let ds = Planlint.check c plan in
+  checkb "in-place mutation is an error" true (has_error_code "EV103" ds);
+  (* functional update leaves a superseded cache: Info only *)
+  let d2 = chain 4 in
+  let fresh = mutate_task d2 3 (fun t -> { t with Dag.inputs = [ 2; 1 ] }) in
+  let ds2 = Planlint.check c (with_dag (plan_of c d2) fresh) in
+  checkb "superseded cache is info" true
+    (List.exists
+       (fun d ->
+         String.equal d.Lint.code "EV103" && d.Lint.severity = Lint.Info)
+       ds2);
+  checkb "superseded cache is not an error" false (has_error_code "EV103" ds2)
+
+let test_ev110_ev111_edge_drop () =
+  let c = demonstrator () in
+  let full = chain 3 in
+  let cut = mutate_task full 2 (fun t -> { t with Dag.inputs = [] }) in
+  let plan = plan_of c cut in
+  let ds = Planlint.check ~dag:full c plan in
+  checkb "EV110 flagged" true (has_error_code "EV110" ds);
+  (* round-robin spreads the chain across nodes, so the dropped edge is
+     not even transitively recovered *)
+  checkb "EV111 flagged" true (has_error_code "EV111" ds);
+  (* the same reference dag over the intact plan is clean *)
+  checki "intact plan clean" 0
+    (List.length (Planlint.check ~dag:full c (plan_of c full)))
+
+let test_ev111_transitively_recovered_edge () =
+  (* drop edge 1->2 but co-locate everything on one node: the chain
+     serialization still orders 1 before 2, so only EV110 fires *)
+  let full = chain 3 in
+  let cut = mutate_task full 2 (fun t -> { t with Dag.inputs = [] }) in
+  let plan =
+    { Scheduler.dag = cut;
+      assignments =
+        Array.init 3 (fun _ -> { Scheduler.node = "ep0"; impl = cpu });
+      policy = "manual" }
+  in
+  let c = demonstrator () in
+  let ds = Planlint.check ~dag:full c plan in
+  checkb "EV110 still flagged" true (has_error_code "EV110" ds);
+  checkb "EV111 satisfied by chain order" false (has_code "EV111" ds)
+
+let test_ev112_shape_mismatch () =
+  let c = demonstrator () in
+  let plan = plan_of c (chain 4) in
+  let short =
+    { plan with
+      Scheduler.assignments = Array.sub plan.Scheduler.assignments 0 2 }
+  in
+  let ds = Planlint.check c short in
+  checkb "EV112 flagged" true (has_error_code "EV112" ds)
+
+(* ---- placement mutations ---------------------------------------------------- *)
+
+let pinned_pair () =
+  Dag.create "pinned"
+    [ Dag.task ~id:0 ~name:"src" ~pinned:(Some "ep0") ~inputs:[]
+        ~out_bytes:4096 ~impls:[ cpu ] ();
+      Dag.task ~id:1 ~name:"sink" ~inputs:[ 0 ] ~out_bytes:64 ~impls:[ cpu ]
+        () ]
+
+let test_ev120_off_pin () =
+  let c = demonstrator () in
+  let plan = plan_of ~policy:"heft" c (pinned_pair ()) in
+  let assignments = Array.copy plan.Scheduler.assignments in
+  assignments.(0) <- { (assignments.(0)) with Scheduler.node = "cf0" };
+  let mutated = { plan with Scheduler.assignments; policy = "mutated" } in
+  let ds = Planlint.check c mutated in
+  checkb "EV120 flagged" true (has_error_code "EV120" ds);
+  (* when the pin is excluded, moving off it was the only option *)
+  let ds2 = Planlint.check ~excluded:[ "ep0" ] c mutated in
+  checkb "off excluded pin is a warning" true
+    (List.exists
+       (fun d ->
+         String.equal d.Lint.code "EV120" && d.Lint.severity = Lint.Warning)
+       ds2);
+  checkb "not an error" false (has_error_code "EV120" ds2)
+
+let test_ev121_unknown_and_excluded_nodes () =
+  let c = demonstrator () in
+  let plan = plan_of c (chain 2) in
+  let assignments = Array.copy plan.Scheduler.assignments in
+  assignments.(1) <- { (assignments.(1)) with Scheduler.node = "ghost" };
+  let ds =
+    Planlint.check c { plan with Scheduler.assignments; policy = "mutated" }
+  in
+  checkb "unknown node flagged" true (has_error_code "EV121" ds);
+  let victim = plan.Scheduler.assignments.(0).Scheduler.node in
+  let ds2 = Planlint.check ~excluded:[ victim ] c plan in
+  checkb "excluded node flagged" true (has_error_code "EV121" ds2)
+
+let test_ev122_ev123_capability_mismatch () =
+  let c = demonstrator () in
+  let d =
+    Dag.create "cap"
+      [ Dag.task ~id:0 ~name:"k" ~inputs:[] ~out_bytes:1024
+          ~impls:[ fpga "k" ] () ]
+  in
+  let plan =
+    { Scheduler.dag = d;
+      assignments = [| { Scheduler.node = "ep0"; impl = fpga "k" } |];
+      policy = "manual" }
+  in
+  let ds = Planlint.check c plan in
+  checkb "EV122 error while FPGA nodes exist" true (has_error_code "EV122" ds);
+  (* an implementation the task does not offer *)
+  let plan2 =
+    { plan with
+      Scheduler.assignments =
+        [| { Scheduler.node = "cf0"; impl = fpga "other" } |] }
+  in
+  checkb "EV123 flagged" true (has_error_code "EV123" (Planlint.check c plan2));
+  (* a pin forcing the FPGA-less placement is the executor's designed
+     degradation path, so only a warning *)
+  let d3 =
+    Dag.create "cap-pinned"
+      [ Dag.task ~id:0 ~name:"k" ~pinned:(Some "ep0") ~inputs:[]
+          ~out_bytes:1024 ~impls:[ fpga "k" ] () ]
+  in
+  let plan3 =
+    { Scheduler.dag = d3;
+      assignments = [| { Scheduler.node = "ep0"; impl = fpga "k" } |];
+      policy = "manual" }
+  in
+  let ds3 = Planlint.check c plan3 in
+  checkb "degrade-by-design is a warning" true
+    (List.exists
+       (fun d ->
+         String.equal d.Lint.code "EV122" && d.Lint.severity = Lint.Warning)
+       ds3);
+  checkb "degrade-by-design not an error" false (has_error_code "EV122" ds3)
+
+let test_ev130_ev131_slot_oversubscription () =
+  let c = demonstrator () in
+  let width = 8 in
+  let workers =
+    List.init width (fun i ->
+        Dag.task ~id:(i + 1)
+          ~name:(Printf.sprintf "w%d" i)
+          ~inputs:[ 0 ] ~out_bytes:1024
+          ~impls:[ fpga (Printf.sprintf "bit%d" i) ]
+          ())
+  in
+  let d =
+    Dag.create "wide"
+      (Dag.task ~id:0 ~name:"src" ~inputs:[] ~out_bytes:4096 ~impls:[ cpu ] ()
+      :: workers)
+  in
+  let assignments =
+    Array.init (width + 1) (fun i ->
+        if i = 0 then { Scheduler.node = "ep0"; impl = cpu }
+        else
+          { Scheduler.node = "cf0";
+            impl = fpga (Printf.sprintf "bit%d" (i - 1)) })
+  in
+  let ds =
+    Planlint.check c { Scheduler.dag = d; assignments; policy = "manual" }
+  in
+  checkb "EV130 flagged" true (has_code "EV130" ds);
+  checkb "EV131 flagged" true (has_code "EV131" ds);
+  checkb "warnings, not errors" false (Lint.has_errors ds)
+
+let test_ev140_infeasible_deadline () =
+  let c = demonstrator () in
+  let d =
+    Dag.create "heavy"
+      [ Dag.task ~id:0 ~name:"h" ~inputs:[] ~out_bytes:64
+          ~impls:[ Dag.Cpu { flops = 1e13; bytes = 1e6; threads = 1 } ]
+          () ]
+  in
+  let plan = plan_of ~policy:"heft" c d in
+  checkb "deadline flagged" true
+    (has_error_code "EV140" (Planlint.check ~deadline_s:1e-6 c plan));
+  let slos =
+    [ { Slo.slo_name = "p99-latency";
+        objective = Slo.Latency_quantile { q = 0.99; limit_s = 1e-6 } } ]
+  in
+  checkb "SLO deadline flagged" true
+    (has_error_code "EV140" (Planlint.check ~slos c plan));
+  let loose =
+    [ { Slo.slo_name = "loose";
+        objective = Slo.Latency_quantile { q = 0.99; limit_s = 1e9 } } ]
+  in
+  checki "feasible SLO clean" 0
+    (List.length (Planlint.check ~slos:loose c plan))
+
+(* ---- analyzer plumbing ------------------------------------------------------ *)
+
+let test_summary_fields () =
+  let c = demonstrator () in
+  let s = Planlint.analyze c (plan_of ~policy:"heft" c (chain 5)) in
+  checki "tasks" 5 s.Planlint.pl_tasks;
+  checki "edges" 4 s.Planlint.pl_edges;
+  checkb "chains positive" true (s.Planlint.pl_chains >= 1);
+  checkb "cp bound positive" true (s.Planlint.pl_cp_lower_s > 0.0);
+  checki "clean" 0 (List.length s.Planlint.pl_diags)
+
+let test_diag_cap () =
+  let c = demonstrator () in
+  let n = 200 in
+  let d = chain n in
+  let plan = plan_of c d in
+  let tasks =
+    Array.map (fun (t : Dag.task) -> { t with Dag.inputs = [] }) d.Dag.tasks
+  in
+  let tasks =
+    Array.mapi
+      (fun i (t : Dag.task) ->
+        if i = 0 then t else { t with Dag.inputs = [ n + i ] })
+      tasks
+  in
+  let bad = { d with Dag.tasks = tasks } in
+  let ds = Planlint.check ~dag:d c (with_dag plan bad) in
+  let ev100 =
+    List.filter (fun x -> String.equal x.Lint.code "EV100") ds
+  in
+  (* 199 dangling inputs, capped at 50 instances + one suppression note *)
+  checki "capped" 51 (List.length ev100);
+  checkb "suppression note" true
+    (List.exists
+       (fun x ->
+         String.equal x.Lint.code "EV100" && x.Lint.severity = Lint.Info)
+       ev100)
+
+let test_gate_raises_and_opt_out () =
+  let c = demonstrator () in
+  let plan = plan_of ~policy:"heft" c (pinned_pair ()) in
+  let assignments = Array.copy plan.Scheduler.assignments in
+  assignments.(0) <- { (assignments.(0)) with Scheduler.node = "cf0" };
+  let mutated = { plan with Scheduler.assignments; policy = "mutated" } in
+  (match Executor.execute c mutated with
+  | exception Planlint.Plan_invalid { plan = name; diags } ->
+      checkb "diag list non-empty" true (diags <> []);
+      checkb "name carries dag/policy" true
+        (String.equal name "pinned/mutated")
+  | _ -> Alcotest.fail "gate must reject the off-pin plan");
+  (* the same defective plan is executable when the gate is waived: the
+     executor itself never checks pins *)
+  let stats = Executor.execute ~plan_lint:false c mutated in
+  checkb "opt-out executes" true (stats.Executor.makespan > 0.0)
+
+let test_codes_table_consistent () =
+  (* every emitted code in this file's scenarios appears in the catalog *)
+  let catalog = List.map (fun (c, _, _) -> c) Planlint.codes in
+  List.iter
+    (fun c -> checkb (c ^ " documented") true (List.mem c catalog))
+    [ "EV100"; "EV101"; "EV102"; "EV103"; "EV110"; "EV111"; "EV112";
+      "EV120"; "EV121"; "EV122"; "EV123"; "EV130"; "EV131"; "EV140" ]
+
+(* ---- Lint.promote_warnings (the --strict mode) ------------------------------ *)
+
+let test_promote_warnings () =
+  let c = demonstrator () in
+  let plan = plan_of ~policy:"heft" c (pinned_pair ()) in
+  let assignments = Array.copy plan.Scheduler.assignments in
+  assignments.(0) <- { (assignments.(0)) with Scheduler.node = "cf0" };
+  let mutated = { plan with Scheduler.assignments; policy = "mutated" } in
+  (* off an excluded pin: warning normally, error under strict *)
+  let ds = Planlint.check ~excluded:[ "ep0" ] c mutated in
+  checkb "warning before" false (Lint.has_errors ds);
+  checkb "error after promote" true
+    (Lint.has_errors (Lint.promote_warnings ds));
+  (* infos survive promotion untouched *)
+  let info =
+    { Lint.code = "EVXXX"; severity = Lint.Info; in_func = "f";
+      op_name = "o"; message = "m"; loc = Everest_ir.Loc.name "l" }
+  in
+  checkb "info untouched" true
+    (List.for_all
+       (fun d -> d.Lint.severity = Lint.Info)
+       (Lint.promote_warnings [ info ]))
+
+let suite =
+  [ ( "reach",
+      [ Alcotest.test_case "chain ordering" `Quick test_reach_chain;
+        Alcotest.test_case "diamond siblings" `Quick
+          test_reach_diamond_siblings_unordered;
+        QCheck_alcotest.to_alcotest prop_reach_matches_naive ] );
+    ( "clean-plans",
+      [ QCheck_alcotest.to_alcotest prop_shipped_schedulers_lint_clean ] );
+    ( "structural",
+      [ Alcotest.test_case "EV100 dangling input" `Quick
+          test_ev100_dangling_input;
+        Alcotest.test_case "EV101 duplicate input" `Quick
+          test_ev101_duplicate_input;
+        Alcotest.test_case "EV102 cycle" `Quick test_ev102_cycle;
+        Alcotest.test_case "EV103 stale rev_adj" `Quick
+          test_ev103_stale_rev_adj;
+        Alcotest.test_case "EV110/EV111 edge drop" `Quick
+          test_ev110_ev111_edge_drop;
+        Alcotest.test_case "EV111 transitively recovered" `Quick
+          test_ev111_transitively_recovered_edge;
+        Alcotest.test_case "EV112 shape mismatch" `Quick
+          test_ev112_shape_mismatch ] );
+    ( "placement",
+      [ Alcotest.test_case "EV120 off-pin" `Quick test_ev120_off_pin;
+        Alcotest.test_case "EV121 unknown/excluded node" `Quick
+          test_ev121_unknown_and_excluded_nodes;
+        Alcotest.test_case "EV122/EV123 capability" `Quick
+          test_ev122_ev123_capability_mismatch;
+        Alcotest.test_case "EV130/EV131 slots" `Quick
+          test_ev130_ev131_slot_oversubscription;
+        Alcotest.test_case "EV140 infeasible SLO" `Quick
+          test_ev140_infeasible_deadline ] );
+    ( "plumbing",
+      [ Alcotest.test_case "summary fields" `Quick test_summary_fields;
+        Alcotest.test_case "per-code cap" `Quick test_diag_cap;
+        Alcotest.test_case "executor gate" `Quick
+          test_gate_raises_and_opt_out;
+        Alcotest.test_case "code catalog" `Quick test_codes_table_consistent;
+        Alcotest.test_case "promote warnings" `Quick test_promote_warnings ]
+    ) ]
+
+let () = Alcotest.run "everest_planlint" suite

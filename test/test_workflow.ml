@@ -372,14 +372,70 @@ let test_ensemble_generator () =
          a.Dag.inputs = b.Dag.inputs && a.Dag.impls = b.Dag.impls)
        d.Dag.tasks d2.Dag.tasks)
 
+(* satellite: construction errors must name the dag, the offending task
+   (id and name) and the bad input, so a failure inside a generated
+   million-task graph is actionable *)
+let test_dag_error_messages () =
+  let expect_msg parts thunk =
+    match thunk () with
+    | exception Invalid_argument msg ->
+        List.iter
+          (fun part ->
+            checkb
+              (Printf.sprintf "%S mentions %S" msg part)
+              true
+              (Astring.String.is_infix ~affix:part msg))
+          parts
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  let t ~id ~inputs =
+    Dag.task ~id ~name:(Printf.sprintf "t%d" id) ~inputs ~out_bytes:1
+      ~impls:[ Dag.Cpu { flops = 1.0; bytes = 1.0; threads = 1 } ]
+      ()
+  in
+  expect_msg [ "\"gaps\""; "task 5"; "\"t5\""; "expected id 1" ] (fun () ->
+      Dag.create "gaps" [ t ~id:0 ~inputs:[]; t ~id:5 ~inputs:[] ]);
+  expect_msg [ "\"fwd\""; "task 1"; "\"t1\""; "input 1" ] (fun () ->
+      Dag.create "fwd" [ t ~id:0 ~inputs:[]; t ~id:1 ~inputs:[ 1 ] ]);
+  expect_msg [ "\"neg\""; "task 1"; "input -3"; "negative" ] (fun () ->
+      Dag.create "neg" [ t ~id:0 ~inputs:[]; t ~id:1 ~inputs:[ -3 ] ]);
+  expect_msg [ "\"dup\""; "task 2"; "\"t2\""; "input 1"; "more than once" ]
+    (fun () ->
+      Dag.create "dup"
+        [ t ~id:0 ~inputs:[]; t ~id:1 ~inputs:[ 0 ];
+          t ~id:2 ~inputs:[ 1; 0; 1 ] ])
+
+(* satellite: a functional update of [tasks] (the heft_delta caller
+   pattern) must never serve the original's cached reverse adjacency —
+   and the original must keep its own *)
+let prop_functional_update_never_stale =
+  QCheck.Test.make ~count:50 ~name:"functional tasks update never stale"
+    QCheck.(pair arbitrary_dag (int_range 0 1000))
+    (fun (d, salt) ->
+      let n = Dag.size d in
+      (* drop one task's inputs, as a cone repair that rewires does *)
+      let victim = 1 + (salt mod (max 1 (n - 1))) in
+      let tasks = Array.copy d.Dag.tasks in
+      tasks.(victim) <- { (tasks.(victim)) with Dag.inputs = [] };
+      let d2 = { d with Dag.tasks = tasks } in
+      let ids = List.init n Fun.id in
+      List.for_all
+        (fun i -> Dag.consumers d2 i = Dag.consumers_naive d2 i)
+        ids
+      && List.for_all
+           (fun i -> Dag.consumers d i = Dag.consumers_naive d i)
+           ids)
+
 let () =
   Alcotest.run "everest_workflow"
     [
       ( "dag",
         [ Alcotest.test_case "validation" `Quick test_dag_validation;
+          Alcotest.test_case "error messages" `Quick test_dag_error_messages;
           Alcotest.test_case "layered gen" `Quick test_layered_generator;
           Alcotest.test_case "ensemble gen" `Quick test_ensemble_generator;
-          QCheck_alcotest.to_alcotest prop_consumers_match_naive ] );
+          QCheck_alcotest.to_alcotest prop_consumers_match_naive;
+          QCheck_alcotest.to_alcotest prop_functional_update_never_stale ] );
       ( "schedulers",
         [ Alcotest.test_case "all policies" `Quick test_all_policies_execute;
           Alcotest.test_case "chain deps" `Quick test_chain_respects_deps;
