@@ -7,6 +7,15 @@
          demonstrator; exhausted recovery exits 1 with a structured error
      everest_cli serve [--requests N] [--goal time|energy]
          adaptively serve the hot kernel through the virtualized runtime
+     everest_cli recover [--seed S] [--crash-after N] [--snapshot-every T]
+         crash-recovery drill: run the journaled serving fabric and the
+         checkpointed workflow executor, kill each at a seeded mid-run
+         journal record, restore, and byte-compare the resumed reports
+         against uninterrupted same-seed runs; exit 1 on any mismatch
+     everest_cli recover --demo
+         corrupt snapshots (bit-flip, truncation, version skew): each must
+         be detected and fallen back over, an all-corrupt store must be
+         refused with a typed error (exits 1)
      everest_cli hls [--unroll U] [--dift]
          synthesize the demo kernel and print the HLS report + RTL sketch
      everest_cli telemetry [--trace-out F] [--metrics-out F] [--format t|p]
@@ -372,6 +381,386 @@ let serve_cmd =
     Term.(
       const run $ shards $ seed $ balancer $ rate $ horizon $ fault_rate
       $ format $ out $ demo)
+
+(* ---- recover ---------------------------------------------------------------- *)
+
+(* Crash-recovery drill: run the serving fabric with write-ahead
+   journaling on, kill it at a seeded mid-run journal record, restore
+   from the latest snapshot + journal tail, and byte-compare the resumed
+   report against the uninterrupted same-seed run; then the same for the
+   workflow executor (journaled deterministic replay).  Exit 1 on any
+   mismatch.  [--demo] corrupts the newest snapshot three ways (bit-flip,
+   truncation, version skew): each must be detected and fallen back over,
+   and a store with every snapshot damaged must be refused with a typed
+   error — the demo exits 1 to prove the detection path fired. *)
+let recover_cmd =
+  let module Srv = Everest_serving in
+  let module Res = Everest_resilience in
+  let module Obs = Everest_observe in
+  let module Rec = Everest_recovery in
+  let module Wf = Everest_workflow in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Workload seed.")
+  in
+  let shards =
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc:"Shard count.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 150.0
+      & info [ "rate" ] ~docv:"RPS" ~doc:"Open-loop tenant arrival rate.")
+  in
+  let horizon =
+    Arg.(
+      value & opt float 0.5
+      & info [ "horizon" ] ~docv:"T" ~doc:"Workload horizon in seconds.")
+  in
+  let snapshot_every =
+    Arg.(
+      value & opt float 0.1
+      & info [ "snapshot-every" ] ~docv:"T"
+          ~doc:"Fabric snapshot interval in simulated seconds.")
+  in
+  let crash_after =
+    Arg.(
+      value & opt int 0
+      & info [ "crash-after" ] ~docv:"N"
+          ~doc:"Kill after N journal records (0: mid-run).")
+  in
+  let dir =
+    Arg.(
+      value
+      & opt string (Filename.concat (Filename.get_temp_dir_name ()) "everest-recover")
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Recovery store directory.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~doc:"Report format: text, json.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON report to FILE.")
+  in
+  let dump_baseline =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dump-baseline" ] ~docv:"FILE"
+          ~doc:"Write the uninterrupted run's report to FILE (for cmp).")
+  in
+  let dump_resumed =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dump-resumed" ] ~docv:"FILE"
+          ~doc:"Write the crash-restart-resumed report to FILE (for cmp).")
+  in
+  let demo =
+    Arg.(
+      value & flag
+      & info [ "demo" ]
+          ~doc:
+            "Corrupt snapshots (bit-flip, truncation, version skew); the \
+             store must detect each, fall back, and refuse an all-corrupt \
+             store with a typed error (exits 1).")
+  in
+  let run seed shards rate horizon snapshot_every crash_after dir format out
+      dump_baseline dump_resumed demo =
+    let tenants =
+      [ Srv.Workload.open_tenant ~name:"acme" ~kernel:"mm" ~rate_rps:rate
+          ~diurnal_amplitude:0.3 ~diurnal_period_s:1.0
+          ~features:(fun seq ->
+            [ ("size", float_of_int (1024 + (64 * (seq mod 4)))) ])
+          ();
+        Srv.Workload.closed_tenant ~name:"globex" ~kernel:"mm" ~users:4
+          ~think_s:0.05 () ]
+    in
+    let config =
+      { (Srv.Fabric.default_config ~n_shards:shards) with
+        Srv.Fabric.seed;
+        faults =
+          Res.Faults.plan ~seed ~transient_prob:0.05 ~fpga_transient_prob:0.1
+            () }
+    in
+    let fp = Srv.Fabric.fingerprint config ~tenants ~horizon in
+    let render r =
+      Srv.Fabric.render_log r ^ "\n" ^ Srv.Fabric.render_slos r ^ "\n"
+      ^ Srv.Fabric.render_summary r
+    in
+    let fab_run ?recovery () =
+      Srv.Fabric.run ~registry:(Tel.Metrics.create_registry ()) ?recovery
+        config ~deploy:(Srv.Fabric.demo_deploy ()) ~tenants ~horizon
+    in
+    let read_file path =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let write_file path contents =
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc contents)
+    in
+    (* uninterrupted journaled run: the reference report *)
+    let base_store =
+      Rec.Store.open_store ~fresh:true ~dir:(Filename.concat dir "baseline")
+        ~fingerprint:fp ()
+    in
+    let baseline =
+      render
+        (fab_run
+           ~recovery:
+             { Srv.Fabric.rv_store = base_store;
+               rv_snapshot_every_s = snapshot_every }
+           ())
+    in
+    let records = base_store.Rec.Store.records_written in
+    let snapshots = base_store.Rec.Store.snapshots_written in
+    Rec.Store.close base_store;
+    let after =
+      if crash_after > 0 then min crash_after (max 1 (records - 1))
+      else max 1 (records / 2)
+    in
+    (* crashed run: the armed record is flushed, then the process "dies" *)
+    let crash_dir = Filename.concat dir "crash" in
+    let store =
+      Rec.Store.open_store ~fresh:true ~dir:crash_dir ~fingerprint:fp ()
+    in
+    Rec.Store.arm_crash store ~after_records:after;
+    let recovery =
+      { Srv.Fabric.rv_store = store; rv_snapshot_every_s = snapshot_every }
+    in
+    let crashed =
+      try
+        ignore (fab_run ~recovery ());
+        false
+      with Rec.Journal.Crashed -> true
+    in
+    Rec.Store.close store;
+    if demo then begin
+      (* corruption drills against the crashed store *)
+      let newest_snap () =
+        Sys.readdir crash_dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".esnap")
+        |> List.sort compare |> List.rev |> List.hd
+        |> Filename.concat crash_dir
+      in
+      let corruptions =
+        [ ( "bit-flip",
+            fun path ->
+              let b = Bytes.of_string (read_file path) in
+              let off = Bytes.length b - 7 in
+              Bytes.set b off
+                (Char.chr (Char.code (Bytes.get b off) lxor 0x01));
+              write_file path (Bytes.to_string b) );
+          ( "truncation",
+            fun path ->
+              let s = read_file path in
+              write_file path (String.sub s 0 (String.length s / 2)) );
+          ( "version-skew",
+            fun path ->
+              let s = read_file path in
+              write_file path
+                ("EVEREST-SNAP v9" ^ String.sub s 15 (String.length s - 15)) )
+        ]
+      in
+      let all_detected =
+        List.for_all
+          (fun (kind, corrupt) ->
+            let snap = newest_snap () in
+            let pristine = read_file snap in
+            corrupt snap;
+            let store =
+              Rec.Store.open_store ~dir:crash_dir ~fingerprint:fp ()
+            in
+            let recovery =
+              { Srv.Fabric.rv_store = store;
+                rv_snapshot_every_s = snapshot_every }
+            in
+            let resumed, report =
+              Srv.Fabric.resume ~registry:(Tel.Metrics.create_registry ())
+                ~recovery config ~deploy:(Srv.Fabric.demo_deploy ()) ~tenants
+                ~horizon
+            in
+            Rec.Store.close store;
+            let detected = report.Srv.Fabric.rr_fallbacks >= 1 in
+            let identical = String.equal baseline (render resumed) in
+            Printf.printf
+              "recover demo: %-12s detected=%b fell back to snapshot %d, \
+               report identical=%b\n"
+              kind detected report.Srv.Fabric.rr_snapshot_index identical;
+            write_file snap pristine;
+            detected && identical)
+          corruptions
+      in
+      (* every snapshot damaged: restore must refuse with a typed error *)
+      Sys.readdir crash_dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".esnap")
+      |> List.iter (fun f ->
+             let path = Filename.concat crash_dir f in
+             write_file path ("XX" ^ read_file path));
+      let refused =
+        let store = Rec.Store.open_store ~dir:crash_dir ~fingerprint:fp () in
+        let recovery =
+          { Srv.Fabric.rv_store = store; rv_snapshot_every_s = snapshot_every }
+        in
+        match
+          Srv.Fabric.resume ~recovery config
+            ~deploy:(Srv.Fabric.demo_deploy ()) ~tenants ~horizon
+        with
+        | _ ->
+            Rec.Store.close store;
+            false
+        | exception Rec.Store.Recovery_error e ->
+            Rec.Store.close store;
+            Printf.printf "recover demo: all-corrupt store refused: %s\n"
+              (Rec.Store.error_to_string e);
+            true
+      in
+      print_endline
+        (if all_detected && refused then
+           "recover demo: corruption detected and contained (exiting 1)"
+         else "recover demo: DETECTION FAILED");
+      exit 1
+    end;
+    (* restore from the crashed store and finish the run *)
+    let store = Rec.Store.open_store ~dir:crash_dir ~fingerprint:fp () in
+    let recovery =
+      { Srv.Fabric.rv_store = store; rv_snapshot_every_s = snapshot_every }
+    in
+    let t0 = Sys.time () in
+    let resumed_r, report =
+      Srv.Fabric.resume ~registry:(Tel.Metrics.create_registry ()) ~recovery
+        config ~deploy:(Srv.Fabric.demo_deploy ()) ~tenants ~horizon
+    in
+    let recovery_s = Sys.time () -. t0 in
+    Rec.Store.close store;
+    let resumed = render resumed_r in
+    let fab_identical = String.equal baseline resumed in
+    (match dump_baseline with
+    | Some f -> write_file f baseline
+    | None -> ());
+    (match dump_resumed with
+    | Some f -> write_file f resumed
+    | None -> ());
+    (* executor drill: journaled deterministic replay from genesis *)
+    let exec_digest (s : Wf.Executor.stats) =
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf
+        (Printf.sprintf "makespan=%.9f retries=%d timeouts=%d recomp=%d\n"
+           s.Wf.Executor.makespan s.Wf.Executor.retries s.Wf.Executor.timeouts
+           s.Wf.Executor.recomputed);
+      Array.iteri
+        (fun i f -> Buffer.add_string buf (Printf.sprintf "%d=%.9f\n" i f))
+        s.Wf.Executor.task_finish;
+      List.iter
+        (fun (n, k) -> Buffer.add_string buf (Printf.sprintf "%s:%d\n" n k))
+        s.Wf.Executor.per_node_tasks;
+      Buffer.contents buf
+    in
+    let exec_run ?checkpoint () =
+      let d =
+        Wf.Dag.layered ~seed ~layers:5 ~width:6 ~flops:1e9 ~bytes:1e6 ()
+      in
+      let c = Everest_platform.Cluster.everest_demonstrator () in
+      let plan = Wf.Scheduler.heft c d in
+      Wf.Executor.execute
+        ~faults:(Res.Faults.plan ~seed ~transient_prob:0.02 ())
+        ~registry:(Tel.Metrics.create_registry ()) ?checkpoint c plan
+    in
+    let exec_dir = Filename.concat dir "executor" in
+    let store =
+      Rec.Store.open_store ~fresh:true ~dir:exec_dir ~fingerprint:"executor" ()
+    in
+    let exec_base =
+      exec_digest
+        (exec_run ~checkpoint:(Wf.Checkpoint.create ~store ~every:7) ())
+    in
+    let exec_records = store.Rec.Store.records_written in
+    Rec.Store.close store;
+    let exec_after = max 1 (exec_records / 2) in
+    let store =
+      Rec.Store.open_store ~fresh:true ~dir:exec_dir ~fingerprint:"executor" ()
+    in
+    Rec.Store.arm_crash store ~after_records:exec_after;
+    let exec_crashed =
+      try
+        ignore
+          (exec_run ~checkpoint:(Wf.Checkpoint.create ~store ~every:7) ());
+        false
+      with Rec.Journal.Crashed -> true
+    in
+    Rec.Store.close store;
+    let store =
+      Rec.Store.open_store ~dir:exec_dir ~fingerprint:"executor" ()
+    in
+    let ck = Wf.Checkpoint.resume ~store ~every:7 in
+    let exec_resumed = exec_digest (exec_run ~checkpoint:ck ()) in
+    Rec.Store.close store;
+    let exec_identical = String.equal exec_base exec_resumed in
+    let checks =
+      [ ("fabric_crashed", crashed);
+        ("fabric_byte_identical", fab_identical);
+        ("fabric_no_fallbacks", report.Srv.Fabric.rr_fallbacks = 0);
+        ("executor_crashed", exec_crashed);
+        ("executor_byte_identical", exec_identical) ]
+    in
+    let all_ok = List.for_all snd checks in
+    let json =
+      Obs.Json.Obj
+        [ ("seed", Obs.Json.Num (float_of_int seed));
+          ("horizon_s", Obs.Json.Num horizon);
+          ("snapshot_every_s", Obs.Json.Num snapshot_every);
+          ("journal_records", Obs.Json.Num (float_of_int records));
+          ("snapshots", Obs.Json.Num (float_of_int snapshots));
+          ("crash_after_record", Obs.Json.Num (float_of_int after));
+          ("resume_snapshot",
+           Obs.Json.Num (float_of_int report.Srv.Fabric.rr_snapshot_index));
+          ("replayed_records",
+           Obs.Json.Num (float_of_int report.Srv.Fabric.rr_replayed));
+          ("recovery_time_s", Obs.Json.Num recovery_s);
+          ("executor_records", Obs.Json.Num (float_of_int exec_records));
+          ("executor_crash_after", Obs.Json.Num (float_of_int exec_after));
+          ("checks",
+           Obs.Json.Obj
+             (List.map (fun (n, ok) -> (n, Obs.Json.Bool ok)) checks
+             @ [ ("passed", Obs.Json.Bool all_ok) ])) ]
+    in
+    (match out with
+    | None -> ()
+    | Some f -> write_file f (Obs.Json.to_string ~pretty:true json ^ "\n"));
+    (match format with
+    | `Json -> print_string (Obs.Json.to_string ~pretty:true json ^ "\n")
+    | `Text ->
+        Printf.printf
+          "fabric: %d journal records, %d snapshots; killed after record \
+           %d, resumed from snapshot %d (+%d replayed) in %.3fs cpu\n"
+          records snapshots after report.Srv.Fabric.rr_snapshot_index
+          report.Srv.Fabric.rr_replayed recovery_s;
+        Printf.printf
+          "executor: %d journal records; killed after record %d, replayed \
+           to completion\n"
+          exec_records exec_after;
+        List.iter
+          (fun (n, ok) ->
+            Printf.printf "check %-24s %s\n" n (if ok then "ok" else "FAILED"))
+          checks;
+        print_string
+          (if all_ok then "recover drill passed\n"
+           else "recover drill FAILED\n"));
+    if not all_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Crash-recovery drill: kill mid-run, restore, byte-compare reports.")
+    Term.(
+      const run $ seed $ shards $ rate $ horizon $ snapshot_every
+      $ crash_after $ dir $ format $ out $ dump_baseline $ dump_resumed
+      $ demo)
 
 (* ---- hls ------------------------------------------------------------------- *)
 
@@ -1608,5 +1997,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "everest_cli" ~doc)
-          [ compile_cmd; run_cmd; serve_cmd; hls_cmd; telemetry_cmd; chaos_cmd;
-            lint_cmd; observe_cmd; estee_cmd; plan_lint_cmd ]))
+          [ compile_cmd; run_cmd; serve_cmd; recover_cmd; hls_cmd;
+            telemetry_cmd; chaos_cmd; lint_cmd; observe_cmd; estee_cmd;
+            plan_lint_cmd ]))

@@ -210,6 +210,30 @@ let snapshot m : result =
   { res_name = m.m_spec.slo_name; res_kind = kind; attained; target; met;
     budget; budget_used = bad_frac /. budget; total; bad }
 
+(* Checkpoint/restore: the monitor's full mutable core.  Events stay
+   newest first, exactly as stored, so a restored monitor burns and
+   prunes byte-identically to one that never stopped. *)
+type monitor_state = {
+  ms_events : (float * bool) list;  (* newest first *)
+  ms_total : int;
+  ms_bad : int;
+  ms_last_t : float;
+  ms_firing : bool;
+  ms_alerts : int;
+}
+
+let monitor_export m =
+  { ms_events = m.m_events; ms_total = m.m_total; ms_bad = m.m_bad;
+    ms_last_t = m.m_last_t; ms_firing = m.m_firing; ms_alerts = m.m_alerts }
+
+let monitor_import m s =
+  m.m_events <- s.ms_events;
+  m.m_total <- s.ms_total;
+  m.m_bad <- s.ms_bad;
+  m.m_last_t <- s.ms_last_t;
+  m.m_firing <- s.ms_firing;
+  m.m_alerts <- s.ms_alerts
+
 (* ---- serialization -------------------------------------------------------------- *)
 
 let result_to_json r =

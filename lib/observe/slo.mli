@@ -96,6 +96,22 @@ val observe : monitor -> now:float -> ?latency_s:float -> ok:bool -> unit -> uni
     bounded window does not keep every latency). *)
 val snapshot : monitor -> result
 
+(** {2 Checkpoint / restore} *)
+
+(** The monitor's full mutable core; a restored monitor burns and prunes
+    byte-identically to one that never stopped. *)
+type monitor_state = {
+  ms_events : (float * bool) list;  (** (t, bad), newest first *)
+  ms_total : int;
+  ms_bad : int;
+  ms_last_t : float;
+  ms_firing : bool;
+  ms_alerts : int;
+}
+
+val monitor_export : monitor -> monitor_state
+val monitor_import : monitor -> monitor_state -> unit
+
 (** {2 Serialization} *)
 
 val result_to_json : result -> Json.t

@@ -48,8 +48,18 @@ let transition b ~now s =
     b.transitions <- (now, s) :: b.transitions
   end
 
-(* Lazily promote open -> half-open once the cooldown has elapsed. *)
+(* Lazily promote open -> half-open once the cooldown has elapsed.
+
+   Clocks are not guaranteed monotonic here: a breaker restored from a
+   checkpoint, or shared across simulations, can observe [now] earlier
+   than [opened_at].  Without the clamp the Open state would demand
+   [opened_at + cooldown_s] of a clock that may never reach it (wedging
+   the breaker open); re-basing the cooldown on the earlier clock keeps
+   the contract "open for at most cooldown_s of observed time". *)
 let state b ~now =
+  (match b.cur with
+  | Open when now < b.opened_at -> b.opened_at <- now
+  | _ -> ());
   (match b.cur with
   | Open when now >= b.opened_at +. b.config.cooldown_s ->
       b.probes <- 0;
@@ -88,6 +98,34 @@ let record b ~now ~ok =
 
 let transitions b = List.rev b.transitions
 let opens b = b.opens
+
+(* Checkpoint/restore: the full mutable core, transitions oldest first. *)
+type persisted = {
+  p_state : state;
+  p_failures : int;
+  p_opened_at : float;
+  p_probes : int;
+  p_opens : int;
+  p_transitions : (float * state) list;  (* oldest first *)
+}
+
+let export b =
+  {
+    p_state = b.cur;
+    p_failures = b.consecutive_failures;
+    p_opened_at = b.opened_at;
+    p_probes = b.probes;
+    p_opens = b.opens;
+    p_transitions = List.rev b.transitions;
+  }
+
+let import b p =
+  b.cur <- p.p_state;
+  b.consecutive_failures <- p.p_failures;
+  b.opened_at <- p.p_opened_at;
+  b.probes <- p.p_probes;
+  b.opens <- p.p_opens;
+  b.transitions <- List.rev p.p_transitions
 
 let pp_state ppf s = Fmt.string ppf (state_name s)
 

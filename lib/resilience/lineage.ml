@@ -57,3 +57,48 @@ let choose t ~task ~prefer ~now =
 (* Is the output lost (produced at least once, no valid copy anywhere)? *)
 let lost t ~task ~now =
   copies t ~task <> [] && locations t ~task ~now = []
+
+(* Copies tracked across all tasks — the memory the pruner bounds. *)
+let total_copies t =
+  Hashtbl.fold (fun _ cs acc -> acc + List.length cs) t.copies 0
+
+(* Bound lineage memory at checkpoint/snapshot points.
+
+   For every task that still has at least one valid copy, drop the
+   invalidated copies (their nodes crashed — they can never satisfy a
+   pull again) and cap surviving replicas at [keep_replicas] beyond the
+   first.  Tasks with no valid copy are left untouched so [lost] keeps
+   reporting them as lost rather than never-produced.  Returns the
+   number of copies dropped. *)
+let prune ?(keep_replicas = 1) t ~now =
+  let keep_n = 1 + max 0 keep_replicas in
+  let dropped = ref 0 in
+  let tasks = Hashtbl.fold (fun task _ acc -> task :: acc) t.copies [] in
+  List.iter
+    (fun task ->
+      let cs = copies t ~task in
+      let live = List.filter (valid t ~now) cs in
+      if live <> [] then begin
+        let kept = List.filteri (fun i _ -> i < keep_n) live in
+        dropped := !dropped + List.length cs - List.length kept;
+        Hashtbl.replace t.copies task kept
+      end)
+    tasks;
+  !dropped
+
+(* Checkpoint/restore: copies per task, sorted by task id for
+   byte-deterministic serialization. *)
+let export t =
+  Hashtbl.fold
+    (fun task cs acc ->
+      (task, List.map (fun c -> (c.c_node, c.c_since)) cs) :: acc)
+    t.copies []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let import t entries =
+  Hashtbl.reset t.copies;
+  List.iter
+    (fun (task, cs) ->
+      Hashtbl.replace t.copies task
+        (List.map (fun (c_node, c_since) -> { c_node; c_since }) cs))
+    entries

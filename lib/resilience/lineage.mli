@@ -22,3 +22,19 @@ val choose : t -> task:int -> prefer:string -> now:float -> string option
 
 (** Produced at least once but no valid copy survives. *)
 val lost : t -> task:int -> now:float -> bool
+
+(** Copies tracked across all tasks — the memory {!prune} bounds. *)
+val total_copies : t -> int
+
+(** Bound lineage memory at checkpoint points: for tasks that still have
+    a valid copy, drop invalidated copies and cap replicas at
+    [keep_replicas] (default 1) beyond the primary.  Tasks with no valid
+    copy are untouched so {!lost} stays accurate.  Returns the number of
+    copies dropped. *)
+val prune : ?keep_replicas:int -> t -> now:float -> int
+
+(** Checkpoint/restore: copies per task (node, since), primary first,
+    sorted by task id. *)
+val export : t -> (int * (string * float) list) list
+
+val import : t -> (int * (string * float) list) list -> unit

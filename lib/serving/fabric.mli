@@ -91,16 +91,69 @@ type result = {
   f_reroutes : int;
 }
 
+(** {2 Crash recovery}
+
+    With recovery enabled, the fabric write-ahead journals every event it
+    fires and snapshots its complete resumable state at control-tick
+    boundaries.  After a crash, {!resume} restores the newest valid
+    snapshot, replay-verifies the journal tail (each re-derived event is
+    byte-compared against its journaled record) and finishes the run —
+    producing a result byte-identical ({!render_log}, {!render_slos},
+    {!render_summary}) to the uninterrupted same-seed run. *)
+
+type recovery = {
+  rv_store : Everest_recovery.Store.t;
+  rv_snapshot_every_s : float;
+      (** Minimum simulated time between snapshots (taken at the first
+          control tick past due). *)
+}
+
+(** What {!resume} restored: which snapshot anchored the resume, how many
+    newer snapshots were rejected (and why), and how much journal tail
+    was replay-verified. *)
+type restore_report = {
+  rr_snapshot_index : int;
+  rr_fallbacks : int;
+  rr_skipped : (int * string) list;
+  rr_replayed : int;
+  rr_torn_tail : bool;
+}
+
+(** Identity of a run for store compatibility checks: a digest of
+    (config, tenant names/kernels/arrival processes, horizon).  Tenant
+    feature functions are code, not state, and are excluded. *)
+val fingerprint : config -> tenants:Workload.tenant list -> horizon:float -> string
+
 (** Run the workload through the fleet.  [deploy] installs kernels on
     every shard's orchestrator; [registry] receives the [serving_*]
-    fabric metrics (default {!Everest_telemetry.Metrics.default}). *)
+    fabric metrics (default {!Everest_telemetry.Metrics.default}).
+    [recovery] enables journaling + snapshotting into the given store;
+    {!Everest_recovery.Journal.Crashed} escapes if a crash was armed with
+    {!Everest_recovery.Store.arm_crash}. *)
 val run :
   ?registry:Everest_telemetry.Metrics.registry ->
+  ?recovery:recovery ->
   config ->
   deploy:(Orch.t -> unit) ->
   tenants:Workload.tenant list ->
   horizon:float ->
   result
+
+(** Restore from the newest valid snapshot in [recovery.rv_store],
+    replay-verify the journal tail and finish the run.  The store must
+    have been written by {!run} under the same (config, tenants, deploy,
+    horizon).
+    @raise Everest_recovery.Store.Recovery_error when no valid snapshot
+    survives, the snapshot does not match the freshly built fabric, or
+    replay diverges from the journal. *)
+val resume :
+  ?registry:Everest_telemetry.Metrics.registry ->
+  recovery:recovery ->
+  config ->
+  deploy:(Orch.t -> unit) ->
+  tenants:Workload.tenant list ->
+  horizon:float ->
+  result * restore_report
 
 (** {2 Summary accessors} *)
 

@@ -405,7 +405,7 @@ type token = {
 
 let execute ?(failures = []) ?faults ?(policy = Policy.default)
     ?(tracer = Trace.noop) ?(registry = Metrics.default) ?(plan_lint = true)
-    (c : Cluster.t) (plan : Scheduler.plan) : stats =
+    ?checkpoint (c : Cluster.t) (plan : Scheduler.plan) : stats =
   if plan_lint then Planlint.gate c plan;
   let faults =
     match faults with Some f -> f | None -> Faults.of_failures failures
@@ -516,6 +516,41 @@ let execute ?(failures = []) ?faults ?(policy = Policy.default)
     | Dag.Cpu _ -> false
   in
   let backoff_rng = Rng.create (faults.Faults.seed lxor 0x5EED) in
+  (* checkpoint plumbing: [ck_state] digests the resumable state (used as
+     the snapshot integrity anchor), [ck_prune] bounds lineage memory at
+     snapshot boundaries.  Both are deterministic in the run, so replay
+     reproduces them bit-exactly. *)
+  let ck_state () =
+    let module Codec = Everest_recovery.Codec in
+    let w = Codec.writer () in
+    Codec.int w !n_done;
+    Codec.int w !retries;
+    Codec.int w !timeouts;
+    Codec.int w !speculative;
+    Codec.int w !recomputed;
+    Codec.int w !spec_budget;
+    Codec.int w (Rng.state backoff_rng);
+    let finished = ref [] in
+    for i = n - 1 downto 0 do
+      if finish.(i) >= 0.0 then finished := (i, finish.(i)) :: !finished
+    done;
+    Codec.list w !finished ~item:(fun w (i, f) ->
+        Codec.int w i;
+        Codec.float w f);
+    Codec.list w (Lineage.export lineage) ~item:(fun w (task, copies) ->
+        Codec.int w task;
+        Codec.list w copies ~item:(fun w (node, since) ->
+            Codec.str w node;
+            Codec.float w since));
+    Codec.contents w
+  in
+  let lineage_gauge = Metrics.gauge ~registry ~labels "workflow_lineage_copies" in
+  let ck_prune () =
+    let dropped = Lineage.prune lineage ~now:(Desim.now sim) in
+    Metrics.set lineage_gauge (float_of_int (Lineage.total_copies lineage));
+    dropped
+  in
+  Option.iter (fun ck -> Checkpoint.start ck ~state:ck_state) checkpoint;
   let drop_token i tk =
     inflight.(i) <- List.filter (fun t -> t != tk) inflight.(i)
   in
@@ -697,6 +732,13 @@ let execute ?(failures = []) ?faults ?(policy = Policy.default)
     Lineage.record_primary lineage ~task:i ~node:tk.tk_node.Node.name ~now;
     let first = finish.(i) < 0.0 in
     if first then begin
+      (* WAL: the completion record is durable (or replay-verified)
+         before any of its effects land *)
+      Option.iter
+        (fun ck ->
+          Checkpoint.on_complete ck ~task:i ~now ~node:tk.tk_node.Node.name
+            ~state:ck_state ~prune:ck_prune)
+        checkpoint;
       finish.(i) <- now;
       Metrics.inc m_tasks;
       Metrics.observe h_task (now -. t_start);

@@ -61,8 +61,17 @@ exception Execution_failed of { reason : string; partial : stats }
     [plan_lint] (default [true]) runs {!Planlint.gate} before deployment —
     the pre-run counterpart of [Pipeline.compile ?lint]; pass [false] to
     execute a plan the analyzer rejects (e.g. to reproduce a failure).
+    [checkpoint] write-ahead journals every first completion and snapshots
+    the executor's resumable digest at {!Checkpoint} boundaries (also
+    pruning lineage there, bounding replica-tracking memory and reported by
+    the [workflow_lineage_copies] gauge); a {!Checkpoint.resume}d value
+    replay-verifies the whole run against the journal.
     @raise Planlint.Plan_invalid when the gate finds error diagnostics.
-    @raise Execution_failed when recovery is exhausted. *)
+    @raise Execution_failed when recovery is exhausted.
+    @raise Everest_recovery.Journal.Crashed when a crash armed on the
+    checkpoint store triggers.
+    @raise Everest_recovery.Store.Recovery_error when replay diverges from
+    the journal or a snapshot anchor. *)
 val execute :
   ?failures:(string * float) list ->
   ?faults:Everest_resilience.Faults.t ->
@@ -70,6 +79,7 @@ val execute :
   ?tracer:Everest_telemetry.Trace.t ->
   ?registry:Everest_telemetry.Metrics.registry ->
   ?plan_lint:bool ->
+  ?checkpoint:Checkpoint.t ->
   Everest_platform.Cluster.t ->
   Scheduler.plan ->
   stats

@@ -138,6 +138,28 @@ let test_breaker_success_resets_streak () =
   checkb "non-consecutive failures stay closed" true
     (Breaker.state b ~now:0.4 = Breaker.Closed)
 
+(* A breaker restored from a checkpoint (or shared across simulations) can
+   see [~now] jump backwards past [opened_at].  The cooldown must re-base on
+   the earlier clock instead of demanding a time the clock may never reach:
+   "open for at most cooldown_s of observed time". *)
+let test_breaker_backwards_clock () =
+  let cfg =
+    { Breaker.failure_threshold = 1; cooldown_s = 1.0; half_open_probes = 1 }
+  in
+  let b = Breaker.create ~config:cfg () in
+  Breaker.record b ~now:100.0 ~ok:false;
+  checkb "open at trip time" true (Breaker.state b ~now:100.0 = Breaker.Open);
+  (* the clock jumps back below opened_at *)
+  checkb "still open just after the jump" true
+    (Breaker.state b ~now:0.2 = Breaker.Open);
+  checkb "open shortly before the re-based cooldown" true
+    (Breaker.state b ~now:1.1 = Breaker.Open);
+  checkb "half-open once the re-based cooldown elapses" true
+    (Breaker.state b ~now:1.3 = Breaker.Half_open);
+  checkb "probe admitted" true (Breaker.allow b ~now:1.3);
+  Breaker.record b ~now:1.4 ~ok:true;
+  checkb "probe success closes" true (Breaker.state b ~now:1.4 = Breaker.Closed)
+
 (* ---- heartbeat health ------------------------------------------------------ *)
 
 let test_health_detects_death_and_recovery () =
@@ -214,6 +236,49 @@ let test_lineage_lost () =
   checkb "choose finds nothing" true
     (Lineage.choose l ~task:3 ~prefer:"b" ~now:2.0 = None);
   checkb "never produced is not lost" false (Lineage.lost l ~task:9 ~now:2.0)
+
+(* Pruning at snapshot points bounds lineage memory: invalidated copies and
+   excess replicas go, but tasks with no surviving copy are untouched so
+   [lost] keeps telling them apart from never-produced. *)
+let test_lineage_prune_bounds_memory () =
+  let f =
+    Faults.plan
+      ~windows:[ { Faults.w_node = "dead"; w_down = 1.0; w_up = None } ]
+      ()
+  in
+  let l = Lineage.create f in
+  Lineage.record_primary l ~task:0 ~node:"a" ~now:0.0;
+  Lineage.record_replica l ~task:0 ~node:"b" ~now:0.2;
+  Lineage.record_replica l ~task:0 ~node:"c" ~now:0.3;
+  Lineage.record_replica l ~task:0 ~node:"dead" ~now:0.4;
+  Lineage.record_primary l ~task:1 ~node:"dead" ~now:0.5;
+  checki "copies before prune" 5 (Lineage.total_copies l);
+  let dropped = Lineage.prune l ~now:2.0 in
+  (* task 0: primary + 1 replica kept, dead copy and the excess replica
+     dropped; task 1 (all copies invalid) untouched *)
+  checki "dropped" 2 dropped;
+  checki "copies after prune" 3 (Lineage.total_copies l);
+  checkb "primary still wins" true
+    (Lineage.choose l ~task:0 ~prefer:"c" ~now:2.0 = Some "a");
+  checkb "kept replica serves" true
+    (Lineage.choose l ~task:0 ~prefer:"b" ~now:2.0 = Some "a");
+  checkb "lost task still reported lost" true (Lineage.lost l ~task:1 ~now:2.0);
+  (* wider cap keeps more; idempotent at the same width *)
+  checki "re-prune drops nothing" 0 (Lineage.prune l ~now:2.0)
+
+let test_lineage_prune_keep_replicas () =
+  let l = Lineage.create (Faults.plan ()) in
+  Lineage.record_primary l ~task:7 ~node:"a" ~now:0.0;
+  List.iteri
+    (fun i n -> Lineage.record_replica l ~task:7 ~node:n ~now:(0.1 *. float_of_int i))
+    [ "b"; "c"; "d"; "e" ];
+  checki "five copies" 5 (Lineage.total_copies l);
+  checki "cap at 2 replicas drops 2" 2
+    (Lineage.prune ~keep_replicas:2 l ~now:1.0);
+  checki "three left" 3 (Lineage.total_copies l);
+  checki "cap at 0 leaves the primary" 2 (Lineage.prune ~keep_replicas:0 l ~now:1.0);
+  checkb "primary survives" true
+    (Lineage.choose l ~task:7 ~prefer:"e" ~now:1.0 = Some "a")
 
 (* ---- executor: recovery ---------------------------------------------------- *)
 
@@ -570,7 +635,9 @@ let () =
           Alcotest.test_case "failed probe re-opens" `Quick
             test_breaker_reopen_on_failed_probe;
           Alcotest.test_case "success resets streak" `Quick
-            test_breaker_success_resets_streak ] );
+            test_breaker_success_resets_streak;
+          Alcotest.test_case "backwards clock" `Quick
+            test_breaker_backwards_clock ] );
       ( "health",
         [ Alcotest.test_case "death and recovery" `Quick
             test_health_detects_death_and_recovery;
@@ -580,7 +647,11 @@ let () =
         [ Alcotest.test_case "primary first" `Quick test_lineage_primary_first;
           Alcotest.test_case "survivor after crash" `Quick
             test_lineage_survivor_after_crash;
-          Alcotest.test_case "lost output" `Quick test_lineage_lost ] );
+          Alcotest.test_case "lost output" `Quick test_lineage_lost;
+          Alcotest.test_case "prune bounds memory" `Quick
+            test_lineage_prune_bounds_memory;
+          Alcotest.test_case "prune replica cap" `Quick
+            test_lineage_prune_keep_replicas ] );
       ( "executor-recovery",
         [ Alcotest.test_case "lineage recompute" `Quick
             test_executor_lineage_recompute;

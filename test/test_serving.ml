@@ -402,6 +402,55 @@ let test_fabric_drains_dead_shard () =
   checkb "nothing lost" true (Fabric.availability r >= 0.99);
   checkb "still serving" true (Fabric.served_ok r > 10)
 
+(* A shard dying mid-batch must not drop the batch's members: work in
+   flight when the window opens fails, is re-routed to the survivor
+   (bounded by [max_reroutes]) and eventually resolves — the log holds
+   exactly the arrivals of the fault-free same-seed run, with no
+   [Failed "shard-crash"] leaking through. *)
+let test_fabric_evacuates_inflight_mid_batch () =
+  let config =
+    { (Fabric.default_config ~n_shards:2) with
+      Fabric.seed = 5;
+      autoscale = Autoscale.fixed 1;
+      batcher =
+        { Batcher.max_batch = 8; max_delay_s = 0.02; marginal_cost = 0.2 } }
+  in
+  let run faults =
+    Fabric.run ~registry:(Metrics.create_registry ())
+      { config with Fabric.faults }
+      ~deploy:(Fabric.demo_deploy ())
+      ~tenants:[ acme ~rate:6000.0 () ]
+      ~horizon:0.4
+  in
+  let calm = run Faults.none in
+  let r =
+    run
+      (Faults.plan
+         ~windows:[ { Faults.w_node = "shard0"; w_down = 0.1; w_up = Some 0.2 } ]
+         ())
+  in
+  checkb "batches actually formed" true
+    (List.exists (fun x -> x.Fabric.sr_batch > 1) r.Fabric.f_log);
+  checkb "in-flight work re-routed" true (r.Fabric.f_reroutes > 0);
+  (* arrivals are seed-driven: the crashed run resolves every one of them *)
+  checki "no request dropped" (List.length calm.Fabric.f_log)
+    (List.length r.Fabric.f_log);
+  let ids = List.map (fun x -> x.Fabric.sr_id) r.Fabric.f_log in
+  checkb "each resolved exactly once" true (ids = List.sort_uniq compare ids);
+  checkb "no crash failure leaks to a client" true
+    (List.for_all
+       (fun x -> x.Fabric.sr_outcome <> Fabric.Failed "shard-crash")
+       r.Fabric.f_log);
+  (* while shard0 is down, completions come from the survivor *)
+  checkb "survivor serves during the outage" true
+    (List.for_all
+       (fun x ->
+         x.Fabric.sr_outcome <> Fabric.Served
+         || x.Fabric.sr_done_s <= 0.1
+         || x.Fabric.sr_done_s >= 0.2
+         || x.Fabric.sr_shard = 1)
+       r.Fabric.f_log)
+
 let test_fabric_sheds_when_everything_is_down () =
   let faults =
     Faults.plan
@@ -490,6 +539,8 @@ let () =
             test_fabric_batches_under_load;
           Alcotest.test_case "drains a dead shard" `Quick
             test_fabric_drains_dead_shard;
+          Alcotest.test_case "evacuates in-flight work mid-batch" `Quick
+            test_fabric_evacuates_inflight_mid_batch;
           Alcotest.test_case "sheds when everything is down" `Quick
             test_fabric_sheds_when_everything_is_down;
           Alcotest.test_case "open breaker drains the shard" `Quick
