@@ -1992,6 +1992,168 @@ let observe_cmd =
     Term.(
       const run $ seed $ sched $ format $ out $ demo $ diff $ tolerance)
 
+(* ---- top -------------------------------------------------------------------- *)
+
+(* Live observability drill: run a seeded serving workload with a watch
+   attached (registry + fabric scrape, per-request latency sketch, alert
+   rules) and render the deterministic dashboard.  [--follow] re-renders
+   on every scrape tick; [--demo] kills all but one shard mid-run so the
+   queueing latency step must trip the CUSUM alert (exercises the alert
+   path; exits 1). *)
+let top_cmd =
+  let module Srv = Everest_serving in
+  let module Res = Everest_resilience in
+  let module Obs = Everest_observe in
+  let module W = Everest_watch in
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc:"Shard count.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Workload seed.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 400.0
+      & info [ "rate" ] ~docv:"RPS" ~doc:"Open-loop tenant arrival rate.")
+  in
+  let horizon =
+    Arg.(
+      value & opt float 0.4
+      & info [ "horizon" ] ~docv:"T" ~doc:"Workload horizon in seconds.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 0.02
+      & info [ "interval" ] ~docv:"T" ~doc:"Watch scrape interval in seconds.")
+  in
+  let follow =
+    Arg.(
+      value & flag
+      & info [ "follow" ] ~doc:"Render the dashboard on every scrape tick.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~doc:"Dashboard format: text, json.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the final dashboard (in the chosen format) to FILE.")
+  in
+  let demo =
+    Arg.(
+      value & flag
+      & info [ "demo" ]
+          ~doc:
+            "Kill all but one shard mid-run: the latency step must trip \
+             the CUSUM alert (exits 1).")
+  in
+  let run shards seed rate horizon interval follow format out demo =
+    if shards < 1 then begin
+      Format.eprintf "error: need at least one shard@.";
+      exit 2
+    end;
+    let tenants =
+      [ Srv.Workload.open_tenant ~name:"acme" ~kernel:"mm" ~rate_rps:rate
+          ~features:(fun seq ->
+            [ ("size", float_of_int (1024 + (64 * (seq mod 4)))) ])
+          () ]
+    in
+    let faults =
+      if demo then
+        (* capacity cliff at mid-horizon: survivors absorb the load and
+           the queueing delay shows up as a latency step *)
+        Res.Faults.of_failures
+          (List.init (shards - 1) (fun i ->
+               (Printf.sprintf "shard%d" (i + 1), 0.5 *. horizon)))
+      else Res.Faults.none
+    in
+    let config =
+      { (Srv.Fabric.default_config ~n_shards:shards) with
+        Srv.Fabric.seed; faults }
+    in
+    let latency_labels = [ ("tenant", "acme") ] in
+    let p99 =
+      W.Rules.Quantile_over ("latency", latency_labels, 0.99, 0.2)
+    in
+    let rules =
+      [ W.Rules.record "latency:p99" p99;
+        W.Rules.alert "latency-step" p99
+          (W.Rules.Detector (W.Detect.cusum ~drift:0.5 ~threshold:5.0 ()));
+        W.Rules.alert "fleet-degraded"
+          (W.Rules.Last ("fabric:alive_shards", []))
+          (W.Rules.Below (float_of_int shards)) ]
+    in
+    let watch =
+      W.Watch.create
+        ~config:
+          { W.Watch.default_config with W.Watch.wc_interval_s = interval }
+        ~rules ()
+    in
+    if follow then
+      W.Watch.on_tick watch (fun w ~now ->
+          print_string (W.Live.render w ~now);
+          print_string "\n");
+    let r =
+      Srv.Fabric.run ~registry:(Tel.Metrics.create_registry ()) ~watch config
+        ~deploy:(Srv.Fabric.demo_deploy ()) ~tenants ~horizon
+    in
+    let now = horizon in
+    let dashboard =
+      match format with
+      | `Text -> W.Live.render watch ~now
+      | `Json -> W.Live.render_json watch ~now ^ "\n"
+    in
+    (match out with
+    | None -> ()
+    | Some f ->
+        let oc = open_out f in
+        output_string oc dashboard;
+        close_out oc);
+    if not follow then print_string dashboard;
+    let cusum_fired =
+      List.exists
+        (fun (a : W.Rules.alert_state) ->
+          String.equal a.W.Rules.as_name "latency-step"
+          && a.W.Rules.as_edges > 0)
+        (W.Watch.alert_states watch)
+    in
+    let served = Srv.Fabric.served_ok r in
+    if demo then begin
+      Printf.printf "demo: served=%d ticks=%d latency-step alert %s\n" served
+        (W.Watch.ticks watch)
+        (if cusum_fired then "FIRED (expected)" else "did NOT fire");
+      (* like the other --demo drills: exit 1 iff the failure path ran *)
+      if cusum_fired then exit 1
+    end
+    else begin
+      let checks =
+        [ ("served", served > 0);
+          ("scraped", W.Watch.ticks watch > 0);
+          ("sketch_fed", W.Watch.samples watch > 0);
+          ("no_false_alarms", W.Watch.alerts_total watch = 0) ]
+      in
+      let all_ok = List.for_all snd checks in
+      List.iter
+        (fun (n, ok) ->
+          Printf.printf "check %-16s %s\n" n (if ok then "ok" else "FAILED"))
+        checks;
+      print_string (if all_ok then "top drill passed\n" else "top drill FAILED\n");
+      if not all_ok then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live observability drill: watch a seeded serving run and render \
+          the dashboard.")
+    Term.(
+      const run $ shards $ seed $ rate $ horizon $ interval $ follow $ format
+      $ out $ demo)
+
 let () =
   let doc = "EVEREST SDK: compile, run and adapt HPDA applications." in
   exit
@@ -1999,4 +2161,4 @@ let () =
        (Cmd.group (Cmd.info "everest_cli" ~doc)
           [ compile_cmd; run_cmd; serve_cmd; recover_cmd; hls_cmd;
             telemetry_cmd; chaos_cmd; lint_cmd; observe_cmd; estee_cmd;
-            plan_lint_cmd ]))
+            plan_lint_cmd; top_cmd ]))

@@ -41,6 +41,8 @@ module Faults = Everest_resilience.Faults
 module Metrics = Everest_telemetry.Metrics
 module Codec = Everest_recovery.Codec
 module Store = Everest_recovery.Store
+module Watch = Everest_watch.Watch
+module Scrape = Everest_watch.Scrape
 
 type config = {
   n_shards : int;
@@ -204,6 +206,10 @@ type state = {
   mutable st_last_snap : float;
   mutable st_snap_index : int;
   mutable st_replayed : int;
+  st_watch : Watch.t option;
+      (* strictly read-only observer: scraped on control ticks, fed
+         latencies at resolve — never schedules events or feeds back, so
+         a watched run stays byte-identical to the unwatched one *)
 }
 
 let shard_alive st sid ~now =
@@ -712,6 +718,12 @@ let rec resolve st (rq : Workload.request) ~shard ~outcome ~batch ~variant
       List.iter
         (fun m -> Slo.observe m ~now ~latency_s:latency ~ok:true ())
         (tenant_monitors st rq.Workload.rq_tenant);
+      (match st.st_watch with
+      | Some w ->
+          Watch.observe w ~now
+            ~labels:[ ("tenant", rq.Workload.rq_tenant) ]
+            "latency" latency
+      | None -> ());
       st.st_outstanding <- st.st_outstanding - 1
   | Failed _ ->
       Metrics.inc
@@ -980,6 +992,11 @@ and tick st =
     st.st_shards;
   if st.st_outstanding > 0 || st.st_arrivals_pending > 0 then
     sched st ~at:(now +. st.st_config.autoscale.Autoscale.tick_s) Ev_tick;
+  (* piggyback the watch scrape on the control tick: no new event types,
+     no schedule perturbation — the journal and the run are unchanged *)
+  (match st.st_watch with
+  | Some w -> Watch.maybe_tick w ~now
+  | None -> ());
   maybe_snapshot st
 
 and worker_up st sid =
@@ -1079,7 +1096,7 @@ let instantiate_slos config tenant =
 (* Build a fresh fabric — shards deployed, monitors and admission wired,
    nothing scheduled yet.  [run] populates it with the workload;
    [resume] overwrites it from a snapshot. *)
-let mk_state ~registry config ~deploy ~tenants ~horizon ~recovery =
+let mk_state ~registry config ~deploy ~tenants ~horizon ~recovery ~watch =
   if config.n_shards <= 0 then invalid_arg "Fabric.run: n_shards <= 0";
   if config.max_reroutes < 0 then invalid_arg "Fabric.run: max_reroutes < 0";
   let sim = Desim.create () in
@@ -1114,7 +1131,27 @@ let mk_state ~registry config ~deploy ~tenants ~horizon ~recovery =
     st_rmode = (match recovery with None -> R_off | Some _ -> R_live);
     st_ev_seq = 0; st_scratch = Codec.writer ();
     st_pending = Hashtbl.create 64; st_last_snap = 0.0;
-    st_snap_index = 0; st_replayed = 0 }
+    st_snap_index = 0; st_replayed = 0; st_watch = watch }
+
+(* Register what the fabric exposes to a watch: the whole metrics
+   registry plus live control-state gauges (queue depth, busy workers,
+   outstanding, live shards) sampled at scrape time.  Read-only by
+   construction — the closures only inspect [st]. *)
+let attach_watch st w =
+  Watch.add_source w (Scrape.of_registry st.st_registry);
+  Watch.add_source w
+    (Scrape.of_fn ~name:"fabric" (fun ~now ->
+         let depth = ref 0 and busy = ref 0 and alive = ref 0 in
+         Array.iteri
+           (fun sid shard ->
+             depth := !depth + Shard.depth shard;
+             busy := !busy + shard.Shard.s_busy;
+             if shard_alive st sid ~now then incr alive)
+           st.st_shards;
+         [ ("fabric:queue_depth", [], float_of_int !depth);
+           ("fabric:busy_workers", [], float_of_int !busy);
+           ("fabric:alive_shards", [], float_of_int !alive);
+           ("fabric:outstanding", [], float_of_int st.st_outstanding) ]))
 
 (* Assemble the result after the simulation drains. *)
 let finish st =
@@ -1206,9 +1243,10 @@ let finish st =
     f_shards = Array.to_list (Array.map shard_report shards);
     f_spawned = spawned; f_retired = retired; f_reroutes = st.st_reroutes }
 
-let run ?(registry = Metrics.default) ?recovery config ~deploy ~tenants
+let run ?(registry = Metrics.default) ?recovery ?watch config ~deploy ~tenants
     ~horizon =
-  let st = mk_state ~registry config ~deploy ~tenants ~horizon ~recovery in
+  let st = mk_state ~registry config ~deploy ~tenants ~horizon ~recovery ~watch in
+  (match watch with Some w -> attach_watch st w | None -> ());
   (* the genesis tick is event 0, so a tick at t=0 still precedes any
      t=0 arrivals, matching the historical synchronous first tick *)
   sched st ~at:0.0 Ev_tick;
@@ -1243,19 +1281,26 @@ let run ?(registry = Metrics.default) ?recovery config ~deploy ~tenants
       s.Store.work_s <- s.Store.work_s +. (Unix.gettimeofday () -. t0)
   | None -> ());
   Desim.run st.st_sim;
-  finish st
+  let result = finish st in
+  (* one last scrape after [finish] so the end-of-run gauges reach the
+     dashboard *)
+  (match watch with
+  | Some w -> ignore (Watch.tick w ~now:(Desim.now st.st_sim))
+  | None -> ());
+  result
 
 (* Restore from the newest valid snapshot in the store and drive the run
    to completion: replay-verify the journal tail, then continue live.
    The result must be byte-identical (render_log / render_slos /
    render_summary) to the same-seed uninterrupted run. *)
-let resume ?(registry = Metrics.default) ~recovery config ~deploy ~tenants
-    ~horizon =
+let resume ?(registry = Metrics.default) ?watch ~recovery config ~deploy
+    ~tenants ~horizon =
   let t0_wall = Sys.time () in
   let st =
     mk_state ~registry config ~deploy ~tenants ~horizon
-      ~recovery:(Some recovery)
+      ~recovery:(Some recovery) ~watch
   in
+  (match watch with Some w -> attach_watch st w | None -> ());
   let plan = Store.plan_resume recovery.rv_store in
   let pending =
     try decode_state st (Codec.reader plan.Store.r_state)
@@ -1277,6 +1322,9 @@ let resume ?(registry = Metrics.default) ~recovery config ~deploy ~tenants
     pending;
   Desim.run st.st_sim;
   let result = finish st in
+  (match watch with
+  | Some w -> ignore (Watch.tick w ~now:(Desim.now st.st_sim))
+  | None -> ());
   let g name v = Metrics.set (Metrics.gauge ~registry name) v in
   g "recovery_restore_cpu_s" (Sys.time () -. t0_wall);
   g "recovery_resume_snapshot" (float_of_int plan.Store.r_index);

@@ -129,10 +129,18 @@ val fingerprint : config -> tenants:Workload.tenant list -> horizon:float -> str
     fabric metrics (default {!Everest_telemetry.Metrics.default}).
     [recovery] enables journaling + snapshotting into the given store;
     {!Everest_recovery.Journal.Crashed} escapes if a crash was armed with
-    {!Everest_recovery.Store.arm_crash}. *)
+    {!Everest_recovery.Store.arm_crash}.
+
+    [watch] attaches a strictly read-only observer: the metrics registry
+    and live fabric gauges (queue depth, busy workers, alive shards,
+    outstanding) are scraped on control ticks, per-request latencies feed
+    its ["latency"] windowed sketch, and a final scrape follows the run.
+    Watching never schedules events or feeds back, so a watched run is
+    byte-identical to the unwatched same-seed run. *)
 val run :
   ?registry:Everest_telemetry.Metrics.registry ->
   ?recovery:recovery ->
+  ?watch:Everest_watch.Watch.t ->
   config ->
   deploy:(Orch.t -> unit) ->
   tenants:Workload.tenant list ->
@@ -148,6 +156,7 @@ val run :
     replay diverges from the journal. *)
 val resume :
   ?registry:Everest_telemetry.Metrics.registry ->
+  ?watch:Everest_watch.Watch.t ->
   recovery:recovery ->
   config ->
   deploy:(Orch.t -> unit) ->

@@ -235,6 +235,31 @@ let render_text r =
     (metrics r);
   Buffer.contents buf
 
+(* Exposition-format label-value escaping: exactly backslash, double
+   quote and newline, nothing else.  OCaml's %S additionally escapes
+   tabs and emits non-ASCII bytes as decimal escapes, which corrupts
+   UTF-8 label values for conforming scrapers — so the Prometheus path
+   gets its own escaper (the human-oriented [render_text] keeps %S). *)
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let pp_labels_prom ppf = function
+  | [] -> ()
+  | labels ->
+      Fmt.pf ppf "{%a}"
+        Fmt.(
+          list ~sep:(any ",") (fun ppf (k, v) ->
+              pf ppf "%s=\"%s\"" k (escape_label_value v)))
+        labels
+
 (* Prometheus exposition format. Histogram buckets are emitted cumulatively
    and only where occupied (plus +Inf), which the format permits. *)
 let render_prometheus r =
@@ -250,7 +275,7 @@ let render_prometheus r =
   in
   let line name labels v =
     Buffer.add_string buf
-      (Fmt.str "%s%a %g\n" name pp_labels labels v)
+      (Fmt.str "%s%a %g\n" name pp_labels_prom labels v)
   in
   List.iter
     (fun m ->

@@ -1,0 +1,45 @@
+(* Scrape adapters: where the series store's data comes from.
+
+   A source is a pull function sampled once per watch tick; it returns
+   (name, labels, value) triples to append at the tick's time.  The
+   registry adapter turns a whole [Metrics] registry into signals —
+   counters and gauges become their value (rules compute rates), a
+   histogram becomes its count/sum plus the p50/p90/p99 estimates, so the
+   dashboard sees quantile timelines without keeping samples.  Custom
+   sources wrap any accessor — fabric shard depths, orchestrator breaker
+   states, Desim resource queues — as long as the accessor only *reads*:
+   a source must never perturb the run it watches. *)
+
+module Metrics = Everest_telemetry.Metrics
+
+type sample = string * (string * string) list * float
+
+type t = { src_name : string; src_sample : now:float -> sample list }
+
+let name s = s.src_name
+let sample s ~now = s.src_sample ~now
+
+let of_fn ~name f = { src_name = name; src_sample = f }
+
+let of_registry ?(prefix = "") ?(quantiles = [ 0.5; 0.9; 0.99 ])
+    (registry : Metrics.registry) =
+  { src_name = "registry";
+    src_sample =
+      (fun ~now:_ ->
+        List.concat_map
+          (fun (m : Metrics.metric) ->
+            let n = prefix ^ m.Metrics.mname in
+            let labels = m.Metrics.labels in
+            match m.Metrics.value with
+            | Metrics.Counter c -> [ (n, labels, !c) ]
+            | Metrics.Gauge g -> [ (n, labels, !g) ]
+            | Metrics.Histogram h ->
+                (n ^ ":count", labels, float_of_int (Metrics.hist_count h))
+                :: (n ^ ":sum", labels, Metrics.hist_sum h)
+                :: List.map
+                     (fun q ->
+                       ( Printf.sprintf "%s:p%g" n (100.0 *. q),
+                         labels,
+                         Metrics.quantile h q ))
+                     quantiles)
+          (Metrics.metrics registry)) }

@@ -28,6 +28,7 @@ module Health = Everest_resilience.Health
 module Lineage = Everest_resilience.Lineage
 module Rng = Everest_parallel.Rng
 module Observe = Everest_observe
+module Watch = Everest_watch.Watch
 
 type stats = {
   makespan : float;
@@ -405,7 +406,7 @@ type token = {
 
 let execute ?(failures = []) ?faults ?(policy = Policy.default)
     ?(tracer = Trace.noop) ?(registry = Metrics.default) ?(plan_lint = true)
-    ?checkpoint (c : Cluster.t) (plan : Scheduler.plan) : stats =
+    ?checkpoint ?watch (c : Cluster.t) (plan : Scheduler.plan) : stats =
   if plan_lint then Planlint.gate c plan;
   let faults =
     match faults with Some f -> f | None -> Faults.of_failures failures
@@ -425,6 +426,9 @@ let execute ?(failures = []) ?faults ?(policy = Policy.default)
   and m_transfers = Metrics.counter ~registry ~labels "workflow_transfers_total"
   and h_task = Metrics.histogram ~registry ~labels "workflow_task_duration_s"
   and h_xfer = Metrics.histogram ~registry ~labels "workflow_transfer_s" in
+  (match watch with
+  | Some w -> Watch.add_source w (Everest_watch.Scrape.of_registry registry)
+  | None -> ());
   let trace_on = not (Trace.is_noop tracer) in
   (* one render track per node, in cluster order, with the node's constant
      span attributes precomputed alongside *)
@@ -742,6 +746,15 @@ let execute ?(failures = []) ?faults ?(policy = Policy.default)
       finish.(i) <- now;
       Metrics.inc m_tasks;
       Metrics.observe h_task (now -. t_start);
+      (* read-only watch hook: task durations feed the windowed sketch,
+         completions gate the interval scrape — no events, no feedback *)
+      (match watch with
+      | Some w ->
+          Watch.observe w ~now
+            ~labels:[ ("node", tk.tk_node.Node.name) ]
+            "task_duration" (now -. t_start);
+          Watch.maybe_tick w ~now
+      | None -> ());
       Option.iter (fun s -> Trace.finish tracer ~attrs:ok_attrs s) tk.tk_span;
       (* abandon racing duplicates: the winner's output is authoritative *)
       List.iter

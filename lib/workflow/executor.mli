@@ -71,7 +71,12 @@ exception Execution_failed of { reason : string; partial : stats }
     @raise Everest_recovery.Journal.Crashed when a crash armed on the
     checkpoint store triggers.
     @raise Everest_recovery.Store.Recovery_error when replay diverges from
-    the journal or a snapshot anchor. *)
+    the journal or a snapshot anchor.
+
+    [watch] attaches a strictly read-only observer: the registry is
+    scraped on the watch's interval (gated on task completions), and each
+    first completion feeds its ["task_duration"] windowed sketch.
+    Watching never perturbs the simulated run. *)
 val execute :
   ?failures:(string * float) list ->
   ?faults:Everest_resilience.Faults.t ->
@@ -80,6 +85,7 @@ val execute :
   ?registry:Everest_telemetry.Metrics.registry ->
   ?plan_lint:bool ->
   ?checkpoint:Checkpoint.t ->
+  ?watch:Everest_watch.Watch.t ->
   Everest_platform.Cluster.t ->
   Scheduler.plan ->
   stats

@@ -686,6 +686,29 @@ let test_prometheus_golden () =
   in
   checks "prometheus exposition" expected (Metrics.render_prometheus r)
 
+(* The exposition format escapes exactly backslash, double quote and
+   newline in label values; tabs and UTF-8 bytes must pass through
+   verbatim (OCaml's %S would corrupt both). *)
+let test_prometheus_label_escaping () =
+  let r = Metrics.create_registry () in
+  Metrics.set
+    (Metrics.gauge ~registry:r
+       ~labels:[ ("path", "C:\\tmp\\a\"b\nc") ]
+       "esc")
+    1.0;
+  Metrics.set
+    (Metrics.gauge ~registry:r ~labels:[ ("name", "caf\xc3\xa9\tbar") ] "utf8")
+    2.0;
+  let expected =
+    "# TYPE esc gauge\n\
+     esc{path=\"C:\\\\tmp\\\\a\\\"b\\nc\"} 1\n\
+     # TYPE utf8 gauge\n\
+     utf8{name=\"caf\xc3\xa9\tbar\"} 2\n"
+  in
+  checks "prometheus label escaping" expected (Metrics.render_prometheus r);
+  checks "escaper on plain value" "plain"
+    (Metrics.escape_label_value "plain")
+
 (* ---- quantile properties --------------------------------------------------------- *)
 
 (* Nearest-rank empirical quantile, matching the histogram's "first bucket
@@ -777,7 +800,9 @@ let () =
         [ Alcotest.test_case "monotonicity" `Quick test_clock_monotonic ] );
       ( "prometheus",
         [ Alcotest.test_case "golden exposition" `Quick
-            test_prometheus_golden ] );
+            test_prometheus_golden;
+          Alcotest.test_case "label value escaping" `Quick
+            test_prometheus_label_escaping ] );
       ( "quantile-props",
         [ QCheck_alcotest.to_alcotest prop_quantile_monotone_and_tight ] );
     ]
